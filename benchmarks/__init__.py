@@ -1,0 +1,1 @@
+"""Benchmark package: one module per experiment (see DESIGN.md)."""

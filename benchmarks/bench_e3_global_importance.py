@@ -1,0 +1,74 @@
+"""E3 (Figure 2) — global feature-importance profile.
+
+Regenerates the paper's "which telemetry signals drive SLA violations"
+bar chart: mean |SHAP| over test epochs, compared against permutation
+importance.
+
+Expected shape — and the experiment's most instructive finding: for the
+*forecasting* task (telemetry at t, violation at t+1) the profile is a
+mix of (a) the bottleneck VNF's congestion signals (dpi drop/queue/cpu)
+and (b) the **time-of-day encoding**, because violations cluster at the
+diurnal peak, so the phase genuinely predicts them one epoch ahead.
+Surfacing that the model leans on a calendar shortcut — invisible in
+accuracy numbers — is precisely the "Clever Hans detection" use of
+global explanations the XAI literature advertises.  Both SHAP and
+permutation must agree on the head of the ranking.
+"""
+
+
+from benchmarks.conftest import save_result
+from repro.core.explainers import PermutationImportance, TreeShapExplainer
+from repro.ml.metrics import accuracy_score
+from repro.nfv.telemetry import vnf_of_feature
+
+
+def test_e3_global_shap_profile(benchmark, sla_data, sla_forest):
+    dataset, X_train, X_test, _, y_test = sla_data
+    explainer = TreeShapExplainer(
+        sla_forest, dataset.feature_names, class_index=1
+    )
+    rows = X_test[:60]
+    gi = benchmark.pedantic(
+        explainer.global_importance, args=(rows,), rounds=1, iterations=1
+    )
+
+    perm = PermutationImportance(
+        lambda Z: sla_forest.predict(Z), accuracy_score,
+        n_repeats=3, random_state=0,
+    ).global_importance(X_test, y_test, feature_names=dataset.feature_names)
+
+    width = 28
+    top = gi.top_features(10)
+    max_score = top[0][1]
+    lines = [f"{'feature (mean |SHAP|)':<34} {'score':>8}  profile"]
+    for name, score in top:
+        bar = "#" * max(1, int(round(width * score / max_score)))
+        lines.append(f"{name:<34} {score:>8.4f}  {bar}")
+    lines.append("")
+    lines.append(f"{'feature (permutation)':<34} {'drop':>8}")
+    for name, score in perm.top_features(5):
+        lines.append(f"{name:<34} {score:>8.4f}")
+    lines.append("")
+    lines.append("note: tod_* ranking high is the headline finding — the")
+    lines.append("forecaster exploits the diurnal phase (violations cluster")
+    lines.append("at the daily peak), a shortcut only the explanation reveals")
+    save_result("E3 (Figure 2): global importance profile", "\n".join(lines))
+
+    top_names = [name for name, _ in top]
+    # shape claim 1: congestion signals of the bottleneck VNF (dpi)
+    # appear in the top-5 alongside any calendar features
+    dpi_in_top5 = [n for n in top_names[:5] if n.startswith("vnf4_dpi")]
+    assert dpi_in_top5, f"expected dpi signals in top-5, got {top_names[:5]}"
+    # shape claim 2: every top-5 feature is either a VNF metric or a
+    # chain/time signal with a causal path to violations (nothing exotic)
+    for name in top_names[:5]:
+        known = (
+            vnf_of_feature(name) is not None
+            or name in ("offered_kpps", "propagation_ms", "active_kflows",
+                        "burstiness", "tod_sin", "tod_cos")
+        )
+        assert known, name
+    # shape claim 3: SHAP and permutation agree on the head of the
+    # ranking (top-3 of one intersects top-5 of the other)
+    perm_top = {name for name, _ in perm.top_features(5)}
+    assert set(top_names[:3]) & perm_top

@@ -1,0 +1,78 @@
+"""E7 (Figure 6) — cross-explainer agreement matrix.
+
+Regenerates the paper's consistency analysis: Spearman rank correlation
+and top-5 Jaccard overlap between the attribution vectors of TreeSHAP,
+KernelSHAP, LIME and (as a global reference broadcast to each instance)
+permutation importance.  Expected shape: the two Shapley methods agree
+most strongly; LIME correlates positively but lower; everything beats
+the ~0 agreement a random attribution would produce.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.core.evaluation import agreement_matrix
+from repro.core.explainers import (
+    KernelShapExplainer,
+    LimeExplainer,
+    TreeShapExplainer,
+)
+
+
+def _format_matrix(names, matrix):
+    header = " ".join(f"{m:>13}" for m in names)
+    lines = [f"{'':>13} {header}"]
+    for i, name in enumerate(names):
+        cells = " ".join(f"{matrix[i, j]:>13.3f}" for j in range(len(names)))
+        lines.append(f"{name:>13} {cells}")
+    return lines
+
+
+def test_e7_agreement(benchmark, sla_data, sla_forest, forest_fn):
+    dataset, X_train, X_test, _, _ = sla_data
+    names = dataset.feature_names
+    scores = forest_fn(X_test)
+    rows = X_test[np.argsort(-scores)[:8]]
+
+    explainers = {
+        "tree_shap": TreeShapExplainer(sla_forest, names, class_index=1),
+        "kernel_shap": KernelShapExplainer(
+            forest_fn, X_train[:60], names, n_samples=256, random_state=0
+        ),
+        "lime": LimeExplainer(
+            forest_fn, X_train, names, n_samples=400, random_state=0
+        ),
+    }
+    attribution_sets = {
+        name: np.vstack([ex.explain(x).values for x in rows])
+        for name, ex in explainers.items()
+    }
+    gen = np.random.default_rng(0)
+    attribution_sets["random_control"] = gen.normal(
+        size=attribution_sets["tree_shap"].shape
+    )
+
+    method_names, spearman = agreement_matrix(
+        attribution_sets, measure="spearman"
+    )
+    _, jaccard = benchmark.pedantic(
+        agreement_matrix,
+        args=(attribution_sets,),
+        kwargs={"measure": "jaccard", "k": 5},
+        rounds=1, iterations=1,
+    )
+
+    lines = ["Spearman rank correlation of |attribution|:"]
+    lines += _format_matrix(method_names, spearman)
+    lines.append("")
+    lines.append("top-5 Jaccard overlap:")
+    lines += _format_matrix(method_names, jaccard)
+    save_result("E7 (Figure 6): cross-explainer agreement", "\n".join(lines))
+
+    index = {name: i for i, name in enumerate(method_names)}
+    shap_pair = spearman[index["tree_shap"], index["kernel_shap"]]
+    lime_pair = spearman[index["tree_shap"], index["lime"]]
+    random_pair = spearman[index["tree_shap"], index["random_control"]]
+    assert shap_pair > 0.5
+    assert lime_pair > random_pair
+    assert abs(random_pair) < 0.35

@@ -1,0 +1,69 @@
+"""Root-cause localization: do attributions find the faulty VNF?
+
+The fault injector plants ground-truth faults (memory leaks, config
+errors, noisy neighbours).  We aggregate each incident's SHAP values
+per VNF, rank the VNFs, and measure hit@k against the injected culprit
+— compared against a random ranking and the operator heuristic of
+"blame the VNF with the highest CPU".
+
+Run:
+    python examples/root_cause_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import RootCauseEvaluator
+from repro.core.explainers import TreeShapExplainer
+from repro.datasets import make_root_cause_dataset, make_sla_violation_dataset
+from repro.ml import RandomForestClassifier
+
+
+def main() -> None:
+    seed = 23
+    print("simulating fault-rich telemetry ...")
+    rc = make_root_cause_dataset(n_epochs=6000, random_state=seed)
+    sla = make_sla_violation_dataset(n_epochs=6000, random_state=seed)
+
+    model = RandomForestClassifier(
+        n_estimators=60, max_depth=10, random_state=0
+    ).fit(sla.X.values, sla.y)
+
+    # collect incidents whose ground-truth culprit VNF is known
+    incidents, culprits, kinds = [], [], []
+    for i in range(len(rc.y)):
+        cs = rc.culprits_for_sample(i)
+        if cs:
+            incidents.append(rc.X.values[i])
+            culprits.append(cs)
+            kinds.append(rc.y[i])
+    incidents = np.asarray(incidents)
+    print(f"  {len(incidents)} incidents with VNF-level ground truth")
+
+    explainer = TreeShapExplainer(model, rc.feature_names, class_index=1)
+    evaluator = RootCauseEvaluator(n_vnfs=5, ks=(1, 2, 3))
+
+    print("\nlocalization accuracy (higher is better):")
+    for report in (
+        evaluator.evaluate_explainer(explainer, incidents, culprits),
+        evaluator.utilization_baseline(
+            incidents, culprits, rc.feature_names
+        ),
+        evaluator.random_baseline(culprits, random_state=0),
+    ):
+        print(f"  {report}")
+
+    # per-fault-kind breakdown for the SHAP ranking
+    print("\nper-fault-kind hit@1 (tree_shap):")
+    for kind in sorted(set(kinds)):
+        rows = [i for i, k in enumerate(kinds) if k == kind]
+        if len(rows) < 3:
+            continue
+        report = evaluator.evaluate_explainer(
+            explainer, incidents[rows], [culprits[i] for i in rows]
+        )
+        print(f"  {kind:<16} hit@1={report.hits[1]:.2f} "
+              f"({report.n_incidents} incidents)")
+
+
+if __name__ == "__main__":
+    main()

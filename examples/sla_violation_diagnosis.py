@@ -1,0 +1,83 @@
+"""SLA-violation diagnosis: compare explainers on the same incident.
+
+Reproduces the paper's core scenario: an operator sees a predicted SLA
+violation and asks *why*.  We explain the same incident with TreeSHAP,
+KernelSHAP, and LIME, show that they (mostly) agree on what matters,
+and verify each explanation's faithfulness with a deletion curve.
+
+Run:
+    python examples/sla_violation_diagnosis.py
+"""
+
+import numpy as np
+
+from repro.core.evaluation import (
+    agreement_matrix,
+    deletion_curve,
+    normalized_auc,
+)
+from repro.core.explainers import (
+    KernelShapExplainer,
+    LimeExplainer,
+    TreeShapExplainer,
+    model_output_fn,
+)
+from repro.datasets import make_sla_violation_dataset
+from repro.ml import RandomForestClassifier
+from repro.ml.model_selection import train_test_split
+
+
+def main() -> None:
+    dataset = make_sla_violation_dataset(n_epochs=3000, random_state=11)
+    X_train, X_test, y_train, y_test = train_test_split(
+        dataset.X.values, dataset.y, test_size=0.3, random_state=0,
+        stratify=dataset.y,
+    )
+    model = RandomForestClassifier(
+        n_estimators=60, max_depth=10, random_state=0
+    ).fit(X_train, y_train)
+    print(f"model test accuracy: {model.score(X_test, y_test):.3f}")
+
+    fn = model_output_fn(model)          # violation probability
+    background = X_train[:80]
+    names = dataset.feature_names
+
+    explainers = {
+        "tree_shap": TreeShapExplainer(model, names, class_index=1),
+        "kernel_shap": KernelShapExplainer(
+            fn, background, names, n_samples=512, random_state=0
+        ),
+        "lime": LimeExplainer(
+            fn, X_train, names, n_samples=600, random_state=0
+        ),
+    }
+
+    # a confidently-predicted violation from the test period
+    test_scores = fn(X_test)
+    incident = X_test[np.argmax(test_scores)]
+    print(f"\nincident violation probability: {test_scores.max():.3f}")
+
+    attributions = {}
+    baseline = X_train.mean(axis=0)
+    for name, explainer in explainers.items():
+        explanation = explainer.explain(incident)
+        attributions[name] = explanation.values
+        auc = normalized_auc(
+            deletion_curve(fn, incident, explanation.values, baseline)
+        )
+        print(f"\n--- {name} (deletion AUC {auc:.3f}, "
+              f"additivity gap {explanation.additivity_gap():.2e})")
+        for feature, value in explanation.top_features(5):
+            print(f"  {feature:<34} {value:+.4f}")
+
+    print("\ncross-method rank agreement (Spearman of |attribution|):")
+    method_names, matrix = agreement_matrix(attributions)
+    header = " ".join(f"{m:>12}" for m in method_names)
+    print(f"{'':>12} {header}")
+    for i, row_name in enumerate(method_names):
+        cells = " ".join(f"{matrix[i, j]:>12.3f}" for j in range(len(method_names)))
+        print(f"{row_name:>12} {cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build. Running
+``python setup.py develop`` installs the package in editable mode using
+only setuptools. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""repro — Explainable AI for Network Function Virtualization.
+
+A from-scratch reproduction of "Towards explainable artificial
+intelligence for network function virtualization" (CoNEXT 2020):
+
+* :mod:`repro.nfv` — service-function-chain simulator and telemetry
+  trace generator (the NFV substrate).
+* :mod:`repro.ml` — numpy ML substrate (trees, forests, boosting, MLP,
+  linear models, metrics).
+* :mod:`repro.datasets` — builders for the SLA-violation / latency /
+  root-cause learning problems plus synthetic ground-truth sets.
+* :mod:`repro.core` — the paper's contribution: SHAP-family and LIME
+  explainers, explanation-quality evaluation, and the NFV explanation
+  pipeline that maps attributions back to VNFs and resources.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,199 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's workflow::
+
+    python -m repro.cli simulate --epochs 2000 --seed 7 --out trace.npz
+    python -m repro.cli train    --epochs 3000 --seed 7 --model random_forest
+    python -m repro.cli explain  --epochs 3000 --seed 7 --epoch-index 42
+    python -m repro.cli validate
+
+``simulate`` writes the raw telemetry + labels to an ``.npz`` archive;
+``train`` reports model quality on a held-out split; ``explain``
+prints the operator report for one epoch; ``validate`` runs the
+explainers against closed-form ground truth (a smoke test for
+installations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_MODELS = {
+    "random_forest": lambda: _ml().RandomForestClassifier(
+        n_estimators=60, max_depth=10, random_state=0
+    ),
+    "gradient_boosting": lambda: _ml().GradientBoostingClassifier(
+        n_estimators=80, max_depth=3, learning_rate=0.2, random_state=0
+    ),
+    "logistic_regression": lambda: _ml().LogisticRegression(max_iter=400),
+    "mlp": lambda: _ml().MLPClassifier(
+        hidden_layer_sizes=(64, 32), max_epochs=60, random_state=0
+    ),
+}
+
+
+def _ml():
+    import repro.ml as ml
+
+    return ml
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Explainable AI for NFV — simulate, train, explain.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="generate labelled telemetry")
+    simulate.add_argument("--epochs", type=int, default=2000)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--no-faults", action="store_true")
+    simulate.add_argument("--out", default=None, help="write .npz archive")
+
+    train = sub.add_parser("train", help="train an SLA-violation model")
+    train.add_argument("--epochs", type=int, default=3000)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--horizon", type=int, default=0)
+    train.add_argument(
+        "--model", choices=sorted(_MODELS), default="random_forest"
+    )
+
+    explain = sub.add_parser("explain", help="explain one epoch's prediction")
+    explain.add_argument("--epochs", type=int, default=3000)
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument(
+        "--epoch-index", type=int, default=None,
+        help="epoch to explain (default: first violation)",
+    )
+    explain.add_argument(
+        "--method", default="auto",
+        help="explainer (auto, tree_shap, kernel_shap, lime, ...)",
+    )
+    explain.add_argument("--top-k", type=int, default=5)
+
+    sub.add_parser("validate", help="check explainers vs ground truth")
+    return parser
+
+
+def _load_dataset(args, horizon: int = 0):
+    from repro.datasets import make_sla_violation_dataset
+
+    return make_sla_violation_dataset(
+        n_epochs=args.epochs,
+        with_faults=not getattr(args, "no_faults", False),
+        horizon=horizon,
+        random_state=args.seed,
+    )
+
+
+def _cmd_simulate(args) -> int:
+    dataset = _load_dataset(args)
+    result = dataset.result
+    print(result.summary())
+    if args.out:
+        np.savez_compressed(
+            args.out,
+            features=dataset.X.values,
+            feature_names=np.asarray(dataset.X.feature_names),
+            sla_violation=result.sla_violation,
+            latency_ms=result.latency_ms,
+            loss_rate=result.loss_rate,
+            root_cause=result.root_cause.astype(str),
+        )
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.core import NFVExplainabilityPipeline
+
+    dataset = _load_dataset(args, horizon=args.horizon)
+    pipeline = NFVExplainabilityPipeline(
+        _MODELS[args.model](),
+        explainer_method="auto",
+        random_state=args.seed,
+    ).fit(dataset)
+    print(f"model: {args.model}  (horizon={args.horizon})")
+    print(f"train accuracy: {pipeline.train_score_:.3f}")
+    print(f"test accuracy:  {pipeline.test_score_:.3f}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.core import NFVExplainabilityPipeline
+    from repro.ml import RandomForestClassifier
+
+    dataset = _load_dataset(args)
+    pipeline = NFVExplainabilityPipeline(
+        RandomForestClassifier(n_estimators=60, max_depth=10, random_state=0),
+        explainer_method=args.method,
+        random_state=args.seed,
+    ).fit(dataset)
+    index = args.epoch_index
+    if index is None:
+        violations = np.flatnonzero(dataset.y == 1)
+        if len(violations) == 0:
+            print("no violations in this trace; pick --epoch-index")
+            return 1
+        index = int(violations[0])
+    if not 0 <= index < len(dataset.y):
+        print(f"epoch-index out of range [0, {len(dataset.y)})")
+        return 1
+    print(f"epoch {index} (label: "
+          f"{'violation' if dataset.y[index] else 'ok'})")
+    print(pipeline.report(dataset.X.values[index], top_k=args.top_k))
+    return 0
+
+
+def _cmd_validate(_args) -> int:
+    from repro.core.explainers import (
+        ExactShapleyExplainer,
+        KernelShapExplainer,
+        model_output_fn,
+    )
+    from repro.datasets import make_linear_regression
+    from repro.ml import LinearRegression
+
+    X, y, _ = make_linear_regression(
+        n_samples=300, noise=0.01, random_state=0
+    )
+    model = LinearRegression().fit(X.values, y)
+    fn = model_output_fn(model)
+    background = X.values[:50]
+    x = X.values[3]
+    truth = model.coef_ * (x - background.mean(axis=0))
+    failures = 0
+    for name, explainer in (
+        ("exact_shapley", ExactShapleyExplainer(fn, background)),
+        ("kernel_shap", KernelShapExplainer(
+            fn, background, n_samples=128, random_state=0
+        )),
+    ):
+        error = float(np.abs(explainer.explain(x).values - truth).max())
+        status = "ok" if error < 1e-6 else "FAIL"
+        if status == "FAIL":
+            failures += 1
+        print(f"{name:<16} max error to closed form: {error:.2e}  [{status}]")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "train": _cmd_train,
+        "explain": _cmd_explain,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

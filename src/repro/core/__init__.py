@@ -1,0 +1,56 @@
+"""The paper's contribution: explainable AI for NFV.
+
+* :mod:`repro.core.explainers` — post-hoc attribution methods
+  (KernelSHAP, exact Shapley, TreeSHAP, LinearSHAP, LIME, permutation
+  importance, PDP/ICE, global surrogate trees, counterfactuals).
+* :mod:`repro.core.evaluation` — explanation-quality measures
+  (deletion/insertion faithfulness, stability, cross-method agreement,
+  Shapley axiom checks).
+* :mod:`repro.core.pipeline` / :mod:`repro.core.rootcause` /
+  :mod:`repro.core.report` — the NFV-facing layer that turns feature
+  attributions into per-VNF / per-resource diagnoses for operators.
+"""
+
+from repro.core.explainers import (
+    CounterfactualExplainer,
+    ExactShapleyExplainer,
+    Explanation,
+    GlobalExplanation,
+    IntegratedGradientsExplainer,
+    InterventionalTreeShapExplainer,
+    KernelShapExplainer,
+    LimeExplainer,
+    LinearShapExplainer,
+    PartialDependence,
+    PermutationImportance,
+    SamplingShapleyExplainer,
+    SurrogateTreeExplainer,
+    TreeShapExplainer,
+    make_explainer,
+    model_output_fn,
+)
+from repro.core.pipeline import NFVDiagnosis, NFVExplainabilityPipeline
+from repro.core.rootcause import RootCauseEvaluator, vnf_attribution_scores
+
+__all__ = [
+    "CounterfactualExplainer",
+    "ExactShapleyExplainer",
+    "Explanation",
+    "GlobalExplanation",
+    "IntegratedGradientsExplainer",
+    "InterventionalTreeShapExplainer",
+    "KernelShapExplainer",
+    "LimeExplainer",
+    "LinearShapExplainer",
+    "make_explainer",
+    "model_output_fn",
+    "NFVDiagnosis",
+    "NFVExplainabilityPipeline",
+    "PartialDependence",
+    "PermutationImportance",
+    "RootCauseEvaluator",
+    "SamplingShapleyExplainer",
+    "SurrogateTreeExplainer",
+    "TreeShapExplainer",
+    "vnf_attribution_scores",
+]

@@ -1,0 +1,54 @@
+"""Objective evaluation of explanation quality.
+
+* :mod:`~repro.core.evaluation.faithfulness` — perturbation-based
+  deletion/insertion curves and their AUCs (the measure of §5 of the
+  XAI literature this paper builds on).
+* :mod:`~repro.core.evaluation.stability` — robustness of attributions
+  to input noise and to the explainer's own sampling.
+* :mod:`~repro.core.evaluation.agreement` — cross-method rank agreement.
+* :mod:`~repro.core.evaluation.axioms` — checks of the Shapley axioms
+  (efficiency, symmetry, dummy) usable as tests and as ablation
+  diagnostics.
+"""
+
+from repro.core.evaluation.agreement import (
+    agreement_matrix,
+    kendall_tau,
+    spearman_correlation,
+    topk_jaccard,
+)
+from repro.core.evaluation.axioms import (
+    check_dummy,
+    check_efficiency,
+    check_symmetry,
+)
+from repro.core.evaluation.faithfulness import (
+    comprehensiveness,
+    deletion_curve,
+    faithfulness_report,
+    insertion_curve,
+    normalized_auc,
+    sufficiency,
+)
+from repro.core.evaluation.stability import (
+    explanation_variance,
+    input_stability,
+)
+
+__all__ = [
+    "agreement_matrix",
+    "check_dummy",
+    "check_efficiency",
+    "check_symmetry",
+    "comprehensiveness",
+    "deletion_curve",
+    "explanation_variance",
+    "faithfulness_report",
+    "input_stability",
+    "insertion_curve",
+    "kendall_tau",
+    "normalized_auc",
+    "spearman_correlation",
+    "sufficiency",
+    "topk_jaccard",
+]

@@ -1,0 +1,67 @@
+"""Shapley axiom checks.
+
+Unlike empirical faithfulness measures, axioms give pass/fail evidence:
+efficiency (attributions sum to prediction minus base value), symmetry
+(interchangeable features get equal credit), and dummy (irrelevant
+features get zero).  These power both the test suite and sanity checks
+in examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_efficiency", "check_symmetry", "check_dummy"]
+
+
+def check_efficiency(explanation, *, atol: float = 1e-6) -> dict:
+    """Efficiency: ``base_value + sum(values) == prediction``.
+
+    Returns ``{"passed": bool, "gap": float}``.
+    """
+    gap = explanation.additivity_gap()
+    return {"passed": bool(gap <= atol), "gap": gap}
+
+
+def check_symmetry(
+    explain_fn,
+    x,
+    i: int,
+    j: int,
+    *,
+    atol: float = 1e-6,
+) -> dict:
+    """Symmetry at a point where ``x[i] == x[j]`` for a model that is
+    symmetric in features ``i`` and ``j``: their attributions must match.
+
+    The caller is responsible for the model actually being symmetric in
+    ``(i, j)`` — the check only verifies the explanation's response.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    if x[i] != x[j]:
+        raise ValueError(
+            f"symmetry check requires x[{i}] == x[{j}], got {x[i]} vs {x[j]}"
+        )
+    phi = np.asarray(explain_fn(x), dtype=float)
+    gap = float(abs(phi[i] - phi[j]))
+    return {"passed": bool(gap <= atol), "gap": gap}
+
+
+def check_dummy(
+    explain_fn,
+    x,
+    dummy_features,
+    *,
+    atol: float = 1e-6,
+) -> dict:
+    """Dummy: features the model provably ignores must get ~0 attribution.
+
+    Returns the worst offender's absolute attribution.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    phi = np.asarray(explain_fn(x), dtype=float)
+    dummy_features = list(dummy_features)
+    if not dummy_features:
+        raise ValueError("dummy_features must not be empty")
+    worst = float(np.max(np.abs(phi[dummy_features])))
+    return {"passed": bool(worst <= atol), "max_attribution": worst}

@@ -1,0 +1,149 @@
+"""Post-hoc explanation methods (all implemented from scratch).
+
+Local attribution:
+
+* :class:`ExactShapleyExplainer` — brute-force reference (d <= 15).
+* :class:`KernelShapExplainer` — model-agnostic sampled Shapley.
+* :class:`TreeShapExplainer` — exact, polynomial-time for tree models.
+* :class:`LinearShapExplainer` — closed form for linear models.
+* :class:`LimeExplainer` — local ridge surrogates.
+* :class:`CounterfactualExplainer` — minimal actionable changes.
+
+Global views:
+
+* :class:`PermutationImportance`, :class:`PartialDependence`,
+  :class:`SurrogateTreeExplainer`; every local explainer also offers
+  ``global_importance`` (mean |attribution|).
+"""
+
+from repro.core.explainers.base import (
+    Explainer,
+    Explanation,
+    GlobalExplanation,
+    model_output_fn,
+)
+from repro.core.explainers.counterfactual import Counterfactual, CounterfactualExplainer
+from repro.core.explainers.integrated_gradients import IntegratedGradientsExplainer
+from repro.core.explainers.lime import LimeExplainer
+from repro.core.explainers.pdp import PartialDependence, PDPResult
+from repro.core.explainers.permutation import PermutationImportance
+from repro.core.explainers.shap_exact import ExactShapleyExplainer
+from repro.core.explainers.shap_kernel import KernelShapExplainer
+from repro.core.explainers.shap_linear import LinearShapExplainer
+from repro.core.explainers.shap_sampling import SamplingShapleyExplainer
+from repro.core.explainers.shap_tree import TreeShapExplainer
+from repro.core.explainers.shap_tree_interventional import (
+    InterventionalTreeShapExplainer,
+)
+from repro.core.explainers.surrogate import SurrogateTreeExplainer
+
+__all__ = [
+    "Counterfactual",
+    "CounterfactualExplainer",
+    "ExactShapleyExplainer",
+    "Explainer",
+    "Explanation",
+    "GlobalExplanation",
+    "IntegratedGradientsExplainer",
+    "InterventionalTreeShapExplainer",
+    "KernelShapExplainer",
+    "LimeExplainer",
+    "LinearShapExplainer",
+    "make_explainer",
+    "model_output_fn",
+    "PartialDependence",
+    "PDPResult",
+    "PermutationImportance",
+    "SamplingShapleyExplainer",
+    "SurrogateTreeExplainer",
+    "TreeShapExplainer",
+]
+
+_TREE_MODELS = (
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+)
+_LINEAR_MODELS = ("LinearRegression", "RidgeRegression", "LogisticRegression")
+
+
+def make_explainer(
+    method: str,
+    model,
+    background,
+    feature_names=None,
+    *,
+    class_index: int = 1,
+    **kwargs,
+):
+    """Factory: build an explainer by name for a fitted model.
+
+    Parameters
+    ----------
+    method:
+        ``"tree_shap"``, ``"interventional_tree_shap"``,
+        ``"kernel_shap"``, ``"sampling_shapley"``, ``"exact_shapley"``,
+        ``"linear_shap"``, ``"lime"``, ``"integrated_gradients"``, or
+        ``"auto"`` (TreeSHAP for tree models, LinearSHAP for linear
+        models, IG for MLPs, KernelSHAP otherwise).
+    model:
+        A fitted estimator from :mod:`repro.ml`.
+    background:
+        Background/training data (2-D array or FeatureMatrix).
+    class_index:
+        Output column to explain for classifiers.
+    kwargs:
+        Forwarded to the explainer constructor.
+    """
+    import numpy as np
+
+    if hasattr(background, "values") and hasattr(background, "feature_names"):
+        if feature_names is None:
+            feature_names = background.feature_names
+        background = background.values
+    background = np.asarray(background, dtype=float)
+
+    if method == "auto":
+        kind = type(model).__name__
+        if kind in _TREE_MODELS:
+            method = "tree_shap"
+        elif kind in _LINEAR_MODELS:
+            method = "linear_shap"
+        elif kind in ("MLPClassifier", "MLPRegressor"):
+            method = "integrated_gradients"
+        else:
+            method = "kernel_shap"
+
+    if method == "tree_shap":
+        return TreeShapExplainer(
+            model, feature_names, class_index=class_index, **kwargs
+        )
+    if method == "interventional_tree_shap":
+        return InterventionalTreeShapExplainer(
+            model, background, feature_names, class_index=class_index, **kwargs
+        )
+    if method == "linear_shap":
+        return LinearShapExplainer(
+            model, background, feature_names, class_index=class_index, **kwargs
+        )
+    if method == "integrated_gradients":
+        return IntegratedGradientsExplainer(
+            model, background, feature_names, class_index=class_index, **kwargs
+        )
+    fn = model_output_fn(model, class_index=class_index)
+    if method == "kernel_shap":
+        return KernelShapExplainer(fn, background, feature_names, **kwargs)
+    if method == "sampling_shapley":
+        return SamplingShapleyExplainer(fn, background, feature_names, **kwargs)
+    if method == "exact_shapley":
+        return ExactShapleyExplainer(fn, background, feature_names, **kwargs)
+    if method == "lime":
+        return LimeExplainer(fn, background, feature_names, **kwargs)
+    raise ValueError(
+        f"unknown explainer {method!r}; choose from tree_shap, "
+        "interventional_tree_shap, kernel_shap, sampling_shapley, "
+        "exact_shapley, linear_shap, lime, integrated_gradients, auto"
+    )

@@ -1,0 +1,194 @@
+"""Explanation containers and the explainer interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Explanation", "GlobalExplanation", "Explainer", "model_output_fn"]
+
+
+@dataclass
+class Explanation:
+    """A local (per-prediction) feature attribution.
+
+    Attributes
+    ----------
+    feature_names:
+        One name per feature, aligned with ``values``.
+    values:
+        Signed attribution per feature; positive pushes the model output
+        up, negative pulls it down.
+    base_value:
+        The explainer's reference output (e.g. the expected model output
+        over the background data).
+    prediction:
+        Model output at ``x``.  For additive explainers
+        ``base_value + values.sum() == prediction`` (the efficiency
+        axiom); :meth:`additivity_gap` measures any deviation.
+    x:
+        The explained instance.
+    method:
+        Explainer name (``"kernel_shap"``, ``"lime"``, ...).
+    extras:
+        Method-specific diagnostics (LIME fidelity, sample counts, ...).
+    """
+
+    feature_names: list[str]
+    values: np.ndarray
+    base_value: float
+    prediction: float
+    x: np.ndarray
+    method: str
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.values = np.asarray(self.values, dtype=float)
+        self.x = np.asarray(self.x, dtype=float).ravel()
+        if len(self.feature_names) != len(self.values):
+            raise ValueError(
+                f"{len(self.feature_names)} names for {len(self.values)} values"
+            )
+        if len(self.x) != len(self.values):
+            raise ValueError(
+                f"x has {len(self.x)} features but {len(self.values)} attributions"
+            )
+
+    @property
+    def n_features(self) -> int:
+        return len(self.values)
+
+    def additivity_gap(self) -> float:
+        """``|base_value + sum(values) - prediction|`` — zero for exact
+        additive explainers (Shapley efficiency)."""
+        return float(abs(self.base_value + self.values.sum() - self.prediction))
+
+    def top_features(self, k: int = 5, *, by_abs: bool = True):
+        """The ``k`` largest attributions as ``(name, value)`` pairs."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        key = np.abs(self.values) if by_abs else self.values
+        order = np.argsort(-key)[:k]
+        return [(self.feature_names[i], float(self.values[i])) for i in order]
+
+    def ranking(self) -> np.ndarray:
+        """Feature indices sorted by decreasing |attribution|."""
+        return np.argsort(-np.abs(self.values))
+
+    def as_dict(self) -> dict[str, float]:
+        """``{feature_name: attribution}``."""
+        return dict(zip(self.feature_names, map(float, self.values)))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        top = ", ".join(f"{n}={v:+.3f}" for n, v in self.top_features(3))
+        return (
+            f"Explanation(method={self.method!r}, prediction={self.prediction:.4f}, "
+            f"base={self.base_value:.4f}, top=[{top}])"
+        )
+
+
+@dataclass
+class GlobalExplanation:
+    """Dataset-level feature importance."""
+
+    feature_names: list[str]
+    importances: np.ndarray
+    method: str
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.importances = np.asarray(self.importances, dtype=float)
+        if len(self.feature_names) != len(self.importances):
+            raise ValueError(
+                f"{len(self.feature_names)} names for "
+                f"{len(self.importances)} importances"
+            )
+
+    def top_features(self, k: int = 10):
+        """The ``k`` most important features as ``(name, score)`` pairs."""
+        order = np.argsort(-self.importances)[:k]
+        return [
+            (self.feature_names[i], float(self.importances[i])) for i in order
+        ]
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(zip(self.feature_names, map(float, self.importances)))
+
+
+class Explainer:
+    """Interface all local explainers implement.
+
+    Subclasses implement :meth:`explain` for one instance;
+    :meth:`explain_batch` and :meth:`global_importance` have default
+    implementations built on it.
+    """
+
+    method_name: str = "explainer"
+
+    def explain(self, x) -> Explanation:
+        raise NotImplementedError
+
+    def explain_batch(self, X) -> list[Explanation]:
+        """Explain each row of ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        return [self.explain(row) for row in X]
+
+    def global_importance(self, X) -> GlobalExplanation:
+        """Mean |local attribution| over the rows of ``X`` — the standard
+        SHAP-style global importance summary."""
+        explanations = self.explain_batch(X)
+        importances = np.mean(
+            [np.abs(e.values) for e in explanations], axis=0
+        )
+        return GlobalExplanation(
+            feature_names=explanations[0].feature_names,
+            importances=importances,
+            method=f"mean_abs_{self.method_name}",
+        )
+
+
+def model_output_fn(model, *, output: str = "auto", class_index: int = 1):
+    """Wrap a fitted model into ``f(X) -> 1-D scores`` for explainers.
+
+    Parameters
+    ----------
+    output:
+        ``"auto"`` — probability of ``class_index`` for classifiers,
+        raw prediction for regressors;
+        ``"proba"`` — ``predict_proba[:, class_index]``;
+        ``"margin"`` — ``decision_function`` (column ``class_index`` if 2-D);
+        ``"predict"`` — raw ``predict`` (must be numeric).
+    class_index:
+        Which column of the probability/margin matrix to explain.
+    """
+    if output not in ("auto", "proba", "margin", "predict"):
+        raise ValueError(f"unknown output {output!r}")
+    if output == "auto":
+        output = "proba" if hasattr(model, "predict_proba") else "predict"
+    if output == "proba":
+        if not hasattr(model, "predict_proba"):
+            raise ValueError(f"{type(model).__name__} has no predict_proba")
+
+        def fn(X):
+            proba = model.predict_proba(np.atleast_2d(X))
+            return proba[:, class_index]
+
+    elif output == "margin":
+        if not hasattr(model, "decision_function"):
+            raise ValueError(f"{type(model).__name__} has no decision_function")
+
+        def fn(X):
+            margin = model.decision_function(np.atleast_2d(X))
+            if margin.ndim == 2:
+                return margin[:, class_index]
+            return margin
+
+    else:
+
+        def fn(X):
+            return np.asarray(model.predict(np.atleast_2d(X)), dtype=float)
+
+    return fn

@@ -1,0 +1,203 @@
+"""Counterfactual explanations by greedy coordinate search.
+
+"What is the smallest telemetry change that flips the predicted
+outcome?" — for an NFV operator this reads as an *actionable* repair
+hint (e.g. "violation clears if dpi cpu_util drops below 0.71").
+
+The search greedily moves one feature at a time to candidate values
+drawn from the data distribution (percentile grid), optimizing the
+model score toward the target with an L1 sparsity penalty in
+standardized units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Counterfactual", "CounterfactualExplainer"]
+
+
+@dataclass
+class Counterfactual:
+    """A found counterfactual.
+
+    Attributes
+    ----------
+    x_original, x_counterfactual:
+        The instance and its modified version.
+    changed:
+        ``(feature_name, old_value, new_value)`` for each change.
+    prediction_original, prediction_counterfactual:
+        Model scores before/after.
+    success:
+        Whether the target condition was reached.
+    distance:
+        L1 distance in standardized units (sparser + smaller = better).
+    """
+
+    x_original: np.ndarray
+    x_counterfactual: np.ndarray
+    changed: list[tuple[str, float, float]]
+    prediction_original: float
+    prediction_counterfactual: float
+    success: bool
+    distance: float
+
+    def summary(self) -> str:
+        """Operator-facing one-liner per change."""
+        if not self.changed:
+            return "no change needed"
+        status = "flips outcome" if self.success else "best effort (no flip)"
+        parts = [
+            f"{name}: {old:.3f} -> {new:.3f}" for name, old, new in self.changed
+        ]
+        return f"{status}: " + "; ".join(parts)
+
+
+class CounterfactualExplainer:
+    """Greedy sparse counterfactual search.
+
+    Parameters
+    ----------
+    predict_fn:
+        ``f(X) -> 1-D scores`` (e.g. violation probability).
+    data:
+        Reference data; supplies candidate values (percentiles) and
+        standardization.
+    threshold:
+        Decision threshold on the score.
+    target:
+        ``"below"`` — push the score under the threshold (clear a
+        predicted violation); ``"above"`` — push it over.
+    max_changes:
+        Sparsity budget: at most this many features may move.
+    mutable_features:
+        Optional subset of feature names the search may touch (an
+        operator cannot change ``tod_sin``).
+    """
+
+    method_name = "counterfactual"
+
+    def __init__(
+        self,
+        predict_fn,
+        data,
+        feature_names=None,
+        *,
+        threshold: float = 0.5,
+        target: str = "below",
+        max_changes: int = 3,
+        n_grid: int = 11,
+        l1_penalty: float = 0.01,
+        mutable_features=None,
+    ):
+        if target not in ("below", "above"):
+            raise ValueError(f"target must be 'below' or 'above', got {target!r}")
+        if max_changes < 1:
+            raise ValueError(f"max_changes must be >= 1, got {max_changes}")
+        if n_grid < 3:
+            raise ValueError(f"n_grid must be >= 3, got {n_grid}")
+        self.predict_fn = predict_fn
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        d = data.shape[1]
+        self.feature_names = (
+            list(feature_names)
+            if feature_names is not None
+            else [f"x{i}" for i in range(d)]
+        )
+        if len(self.feature_names) != d:
+            raise ValueError(f"{len(self.feature_names)} names for {d} features")
+        self.threshold = float(threshold)
+        self.target = target
+        self.max_changes = int(max_changes)
+        self.l1_penalty = float(l1_penalty)
+        std = data.std(axis=0)
+        self.std_ = np.where(std > 0, std, 1.0)
+        percentiles = np.linspace(1, 99, n_grid)
+        self.candidates_ = np.percentile(data, percentiles, axis=0)  # (g, d)
+        if mutable_features is None:
+            self.mutable_ = np.arange(d)
+        else:
+            index = {n: i for i, n in enumerate(self.feature_names)}
+            unknown = [n for n in mutable_features if n not in index]
+            if unknown:
+                raise KeyError(f"unknown mutable features: {unknown}")
+            self.mutable_ = np.asarray([index[n] for n in mutable_features])
+
+    # ------------------------------------------------------------------
+    def _objective(self, score: float) -> float:
+        """Signed margin to the target side; negative = target reached."""
+        if self.target == "below":
+            return score - self.threshold
+        return self.threshold - score
+
+    def explain(self, x) -> Counterfactual:
+        """Search for a minimal change that crosses the threshold."""
+        x = np.asarray(x, dtype=float).ravel()
+        d = len(self.feature_names)
+        if len(x) != d:
+            raise ValueError(f"x has {len(x)} features, expected {d}")
+        current = x.copy()
+        original_score = float(self.predict_fn(x.reshape(1, -1))[0])
+        score = original_score
+        changed_features: dict[int, float] = {}
+
+        for _ in range(self.max_changes):
+            if self._objective(score) < 0:
+                break
+            best = None  # (objective_with_penalty, j, value, raw_score)
+            candidates_j = [
+                j for j in self.mutable_ if j not in changed_features
+            ]
+            if not candidates_j:
+                break
+            # evaluate the full grid for all remaining features in one batch
+            trials = []
+            for j in candidates_j:
+                for value in self.candidates_[:, j]:
+                    if value == current[j]:
+                        continue
+                    trial = current.copy()
+                    trial[j] = value
+                    trials.append((j, value, trial))
+            if not trials:
+                break
+            batch = np.vstack([t[2] for t in trials])
+            scores = np.asarray(self.predict_fn(batch), dtype=float)
+            for (j, value, _), trial_score in zip(trials, scores):
+                penalty = (
+                    self.l1_penalty * abs(value - x[j]) / self.std_[j]
+                )
+                objective = self._objective(float(trial_score)) + penalty
+                if best is None or objective < best[0]:
+                    best = (objective, j, value, float(trial_score))
+            if best is None:
+                break
+            _, j, value, new_score = best
+            # stop if the best move does not improve the raw objective
+            if self._objective(new_score) >= self._objective(score):
+                break
+            current[j] = value
+            score = new_score
+            changed_features[j] = value
+
+        changed = [
+            (self.feature_names[j], float(x[j]), float(v))
+            for j, v in sorted(changed_features.items())
+        ]
+        distance = float(
+            sum(abs(v - x[j]) / self.std_[j] for j, v in changed_features.items())
+        )
+        return Counterfactual(
+            x_original=x,
+            x_counterfactual=current,
+            changed=changed,
+            prediction_original=original_score,
+            prediction_counterfactual=score,
+            success=self._objective(score) < 0,
+            distance=distance,
+        )

@@ -1,0 +1,134 @@
+"""Partial dependence and ICE curves.
+
+Global "what does the model do as this feature moves" views — the NFV
+pipeline uses them to show an operator how predicted violation risk
+responds to, e.g., a VNF's CPU utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PartialDependence", "PDPResult"]
+
+
+@dataclass
+class PDPResult:
+    """Result of a partial-dependence computation.
+
+    Attributes
+    ----------
+    feature_name:
+        The swept feature.
+    grid:
+        Values the feature was set to.
+    average:
+        Partial dependence (mean prediction per grid point).
+    ice:
+        Optional per-sample curves, shape ``(n_samples, n_grid)``.
+    """
+
+    feature_name: str
+    grid: np.ndarray
+    average: np.ndarray
+    ice: np.ndarray | None = None
+
+    @property
+    def slope(self) -> float:
+        """Least-squares slope of the PD curve — a crude but useful
+        summary of direction and strength."""
+        g = self.grid - self.grid.mean()
+        denom = float(np.sum(g * g))
+        if denom == 0.0:
+            return 0.0
+        return float(np.sum(g * (self.average - self.average.mean())) / denom)
+
+
+class PartialDependence:
+    """Computes PD/ICE curves for one model.
+
+    Parameters
+    ----------
+    predict_fn:
+        ``f(X) -> 1-D scores``.
+    data:
+        Reference dataset the curves marginalize over.
+    """
+
+    method_name = "pdp"
+
+    def __init__(self, predict_fn, data, feature_names=None):
+        self.predict_fn = predict_fn
+        self.data = np.asarray(data, dtype=float)
+        if self.data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {self.data.shape}")
+        d = self.data.shape[1]
+        self.feature_names = (
+            list(feature_names)
+            if feature_names is not None
+            else [f"x{i}" for i in range(d)]
+        )
+        if len(self.feature_names) != d:
+            raise ValueError(f"{len(self.feature_names)} names for {d} features")
+
+    def _resolve(self, feature) -> int:
+        if isinstance(feature, str):
+            try:
+                return self.feature_names.index(feature)
+            except ValueError:
+                raise KeyError(f"unknown feature {feature!r}") from None
+        index = int(feature)
+        if not 0 <= index < self.data.shape[1]:
+            raise IndexError(f"feature index {index} out of range")
+        return index
+
+    def compute(
+        self,
+        feature,
+        *,
+        grid_size: int = 20,
+        percentile_range: tuple[float, float] = (5.0, 95.0),
+        with_ice: bool = False,
+        max_ice_samples: int = 50,
+    ) -> PDPResult:
+        """Sweep ``feature`` over a percentile grid of its observed values.
+
+        ``with_ice`` additionally keeps per-sample curves (subsampled to
+        ``max_ice_samples`` rows for tractability).
+        """
+        if grid_size < 2:
+            raise ValueError(f"grid_size must be >= 2, got {grid_size}")
+        lo, hi = percentile_range
+        if not 0 <= lo < hi <= 100:
+            raise ValueError(f"bad percentile_range {percentile_range}")
+        j = self._resolve(feature)
+        column = self.data[:, j]
+        grid = np.linspace(
+            np.percentile(column, lo), np.percentile(column, hi), grid_size
+        )
+        rows = self.data
+        if with_ice and len(rows) > max_ice_samples:
+            stride = len(rows) // max_ice_samples
+            rows = rows[::stride][:max_ice_samples]
+        curves = np.empty((len(rows), grid_size))
+        for g, value in enumerate(grid):
+            modified = rows.copy()
+            modified[:, j] = value
+            curves[:, g] = self.predict_fn(modified)
+        # PD averages over the full dataset (not the ICE subsample)
+        if with_ice and len(rows) != len(self.data):
+            average = np.empty(grid_size)
+            for g, value in enumerate(grid):
+                modified = self.data.copy()
+                modified[:, j] = value
+                average[g] = float(np.mean(self.predict_fn(modified)))
+        else:
+            average = curves.mean(axis=0)
+        return PDPResult(
+            feature_name=self.feature_names[j],
+            grid=grid,
+            average=average,
+            ice=curves if with_ice else None,
+        )

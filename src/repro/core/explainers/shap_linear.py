@@ -1,0 +1,90 @@
+"""LinearSHAP: closed-form Shapley values for linear models.
+
+For ``f(x) = w . x + b`` and independent features, the Shapley value of
+feature ``i`` is exactly ``w_i * (x_i - E[x_i])`` — no sampling needed.
+For logistic regression the explained output is the log-odds margin
+(the additive quantity); probabilities are not additive in the
+features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.explainers.base import Explainer, Explanation
+from repro.ml.linear import LinearRegression, LogisticRegression, RidgeRegression
+
+__all__ = ["LinearShapExplainer"]
+
+
+class LinearShapExplainer(Explainer):
+    """Exact Shapley attribution for linear/logistic models.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`LinearRegression`, :class:`RidgeRegression` or
+        :class:`LogisticRegression`.
+    background:
+        Data whose column means define ``E[x]``.
+    class_index:
+        For logistic models: which class's margin to explain.
+    """
+
+    method_name = "linear_shap"
+
+    def __init__(self, model, background, feature_names=None, *, class_index: int = 1):
+        if isinstance(model, (LinearRegression, RidgeRegression)):
+            coef = np.asarray(model.coef_, dtype=float)
+            intercept = float(model.intercept_)
+        elif isinstance(model, LogisticRegression):
+            if not 0 <= class_index < len(model.classes_):
+                raise ValueError(
+                    f"class_index {class_index} out of range for "
+                    f"{len(model.classes_)} classes"
+                )
+            coef = np.asarray(model.coef_[:, class_index], dtype=float)
+            intercept = float(model.intercept_[class_index])
+        else:
+            raise TypeError(
+                "LinearShapExplainer supports LinearRegression, "
+                f"RidgeRegression and LogisticRegression; got "
+                f"{type(model).__name__}"
+            )
+        background = np.asarray(background, dtype=float)
+        if background.ndim != 2 or background.shape[1] != len(coef):
+            raise ValueError(
+                f"background shape {background.shape} incompatible with "
+                f"{len(coef)} coefficients"
+            )
+        self.model = model
+        self.coef_ = coef
+        self.intercept_ = intercept
+        self.mean_ = background.mean(axis=0)
+        self.feature_names = (
+            list(feature_names)
+            if feature_names is not None
+            else [f"x{i}" for i in range(len(coef))]
+        )
+        if len(self.feature_names) != len(coef):
+            raise ValueError(
+                f"{len(self.feature_names)} names for {len(coef)} features"
+            )
+        self.expected_value_ = float(self.mean_ @ coef + intercept)
+
+    def explain(self, x) -> Explanation:
+        x = np.asarray(x, dtype=float).ravel()
+        if len(x) != len(self.coef_):
+            raise ValueError(
+                f"x has {len(x)} features, expected {len(self.coef_)}"
+            )
+        phi = self.coef_ * (x - self.mean_)
+        prediction = float(x @ self.coef_ + self.intercept_)
+        return Explanation(
+            feature_names=self.feature_names,
+            values=phi,
+            base_value=self.expected_value_,
+            prediction=prediction,
+            x=x,
+            method=self.method_name,
+        )

@@ -1,0 +1,106 @@
+"""Global surrogate trees.
+
+Distill the black box into a shallow decision tree trained on the
+model's *own outputs* (not the true labels).  The surrogate's fidelity
+(how well it mimics the model) bounds how much its structure can be
+trusted as a description of the model — reported alongside the tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.explainers.base import GlobalExplanation
+from repro.ml.metrics import r2_score
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = ["SurrogateTreeExplainer"]
+
+
+class SurrogateTreeExplainer:
+    """Fit an interpretable tree that mimics ``predict_fn``.
+
+    The surrogate is always a *regression* tree on the model's scores
+    (probabilities or raw outputs) — regressing scores preserves more
+    information than classifying hard labels.
+
+    Parameters
+    ----------
+    predict_fn:
+        ``f(X) -> 1-D scores`` of the model to distill.
+    max_depth:
+        Depth budget of the surrogate (interpretability knob).
+    """
+
+    method_name = "surrogate_tree"
+
+    def __init__(self, predict_fn, *, max_depth: int = 4, min_samples_leaf: int = 5):
+        self.predict_fn = predict_fn
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.tree_ = None
+        self.fidelity_ = None
+        self.feature_names_ = None
+
+    def fit(self, X, feature_names=None) -> "SurrogateTreeExplainer":
+        """Distill the model on dataset ``X``; stores fidelity (R² of the
+        surrogate against the model's scores on ``X``)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        d = X.shape[1]
+        self.feature_names_ = (
+            list(feature_names)
+            if feature_names is not None
+            else [f"x{i}" for i in range(d)]
+        )
+        if len(self.feature_names_) != d:
+            raise ValueError(f"{len(self.feature_names_)} names for {d} features")
+        scores = np.asarray(self.predict_fn(X), dtype=float)
+        self.tree_ = DecisionTreeRegressor(
+            max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+        ).fit(X, scores)
+        self.fidelity_ = r2_score(scores, self.tree_.predict(X))
+        return self
+
+    def fidelity(self, X) -> float:
+        """R² of the surrogate against the model on held-out ``X``."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        return r2_score(
+            np.asarray(self.predict_fn(X), dtype=float), self.tree_.predict(X)
+        )
+
+    def global_importance(self, X=None) -> GlobalExplanation:
+        """The surrogate tree's impurity-based importances."""
+        self._check_fitted()
+        return GlobalExplanation(
+            feature_names=self.feature_names_,
+            importances=self.tree_.feature_importances_,
+            method=self.method_name,
+            extras={"fidelity_r2": self.fidelity_, "depth": self.tree_.get_depth()},
+        )
+
+    def rules(self) -> str:
+        """Render the surrogate as indented if/else text rules."""
+        self._check_fitted()
+        tree = self.tree_.tree_
+        lines: list[str] = []
+
+        def walk(node: int, indent: int) -> None:
+            pad = "  " * indent
+            if tree.is_leaf(node):
+                lines.append(f"{pad}predict {tree.value[node, 0]:.4f}")
+                return
+            name = self.feature_names_[tree.feature[node]]
+            lines.append(f"{pad}if {name} <= {tree.threshold[node]:.4f}:")
+            walk(tree.children_left[node], indent + 1)
+            lines.append(f"{pad}else:  # {name} > {tree.threshold[node]:.4f}")
+            walk(tree.children_right[node], indent + 1)
+
+        walk(0, 0)
+        return "\n".join(lines)
+
+    def _check_fitted(self) -> None:
+        if self.tree_ is None:
+            raise RuntimeError("SurrogateTreeExplainer is not fitted; call fit()")

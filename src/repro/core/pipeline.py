@@ -1,0 +1,216 @@
+"""The end-to-end XAI-for-NFV pipeline.
+
+Ties everything together the way the paper envisions: telemetry dataset
+-> trained predictor -> per-prediction explanation -> NFV-domain
+diagnosis (which VNF, which resource, what to do about it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.explainers import make_explainer, model_output_fn
+from repro.core.report import format_local_report, format_vnf_table
+from repro.core.rootcause import rank_vnfs, vnf_attribution_scores
+from repro.ml.model_selection import train_test_split
+from repro.nfv.telemetry import PER_VNF_METRICS, vnf_of_feature
+
+__all__ = ["NFVDiagnosis", "NFVExplainabilityPipeline"]
+
+
+@dataclass
+class NFVDiagnosis:
+    """A fully-resolved diagnosis for one telemetry sample.
+
+    Attributes
+    ----------
+    prediction:
+        Model score (e.g. violation probability or margin).
+    alert:
+        Whether the score crossed the pipeline threshold.
+    explanation:
+        The raw :class:`~repro.core.explainers.Explanation`.
+    vnf_scores:
+        Aggregated |attribution| per VNF index.
+    vnf_ranking:
+        VNF indices, most suspicious first.
+    resource_scores:
+        Aggregated |attribution| per telemetry metric kind
+        (``cpu_util``, ``mem_util``, ...), pinpointing *which resource*
+        is implicated.
+    """
+
+    prediction: float
+    alert: bool
+    explanation: object
+    vnf_scores: dict[int, float]
+    vnf_ranking: list[int]
+    resource_scores: dict[str, float]
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def primary_suspect(self) -> int | None:
+        """Most implicated VNF index (None if no VNF-level signal)."""
+        return self.vnf_ranking[0] if self.vnf_ranking else None
+
+    @property
+    def primary_resource(self) -> str | None:
+        """Most implicated telemetry metric kind."""
+        if not self.resource_scores:
+            return None
+        return max(self.resource_scores, key=self.resource_scores.get)
+
+
+class NFVExplainabilityPipeline:
+    """Train-explain-diagnose pipeline over an :class:`NFVDataset`.
+
+    Parameters
+    ----------
+    model:
+        An *unfitted* estimator from :mod:`repro.ml` (it is cloned and
+        fitted by :meth:`fit`).
+    explainer_method:
+        Any name accepted by
+        :func:`~repro.core.explainers.make_explainer` (default
+        ``"auto"``).
+    threshold:
+        Alert threshold on the model score.
+    background_size:
+        Rows subsampled from the training split as explainer background.
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        explainer_method: str = "auto",
+        threshold: float = 0.5,
+        class_index: int = 1,
+        test_size: float = 0.25,
+        background_size: int = 100,
+        explainer_kwargs: dict | None = None,
+        random_state=None,
+    ):
+        if not 0.0 < test_size < 1.0:
+            raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+        if background_size < 1:
+            raise ValueError(
+                f"background_size must be >= 1, got {background_size}"
+            )
+        self.model = model
+        self.explainer_method = explainer_method
+        self.threshold = float(threshold)
+        self.class_index = int(class_index)
+        self.test_size = float(test_size)
+        self.background_size = int(background_size)
+        self.explainer_kwargs = dict(explainer_kwargs or {})
+        self.random_state = random_state
+        self.explainer_ = None
+        self.fitted_model_ = None
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset) -> "NFVExplainabilityPipeline":
+        """Split, train the model, and build the explainer.
+
+        ``dataset`` is an :class:`~repro.datasets.NFVDataset` (or any
+        object with ``X`` (FeatureMatrix) and ``y``).
+        """
+        X = dataset.X.values
+        y = np.asarray(dataset.y)
+        stratify = y if y.dtype.kind in "iub" or y.dtype.kind in "OSU" else None
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, test_size=self.test_size, random_state=self.random_state,
+            stratify=stratify,
+        )
+        self.feature_names_ = dataset.X.feature_names
+        self.chain_ = getattr(
+            getattr(dataset, "result", None), "chain", None
+        )
+        self.fitted_model_ = self.model.clone()
+        self.fitted_model_.fit(X_train, y_train)
+        self.train_score_ = self.fitted_model_.score(X_train, y_train)
+        self.test_score_ = self.fitted_model_.score(X_test, y_test)
+        self.X_train_, self.X_test_ = X_train, X_test
+        self.y_train_, self.y_test_ = y_train, y_test
+
+        background = X_train
+        if len(background) > self.background_size:
+            from repro.utils.rng import check_random_state
+
+            rng = check_random_state(self.random_state)
+            rows = rng.choice(
+                len(background), size=self.background_size, replace=False
+            )
+            background = background[rows]
+        self.background_ = background
+        self.explainer_ = make_explainer(
+            self.explainer_method,
+            self.fitted_model_,
+            background,
+            self.feature_names_,
+            class_index=self.class_index,
+            **self.explainer_kwargs,
+        )
+        self._score_fn = model_output_fn(
+            self.fitted_model_, class_index=self.class_index
+        )
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.explainer_ is None:
+            raise RuntimeError("pipeline is not fitted; call fit(dataset) first")
+
+    # ------------------------------------------------------------------
+    def diagnose(self, x, *, aggregation: str = "abs") -> NFVDiagnosis:
+        """Explain one telemetry sample and resolve it to NFV concepts."""
+        self._check_fitted()
+        x = np.asarray(x, dtype=float).ravel()
+        explanation = self.explainer_.explain(x)
+        score = float(self._score_fn(x.reshape(1, -1))[0])
+        vnf_scores = vnf_attribution_scores(explanation, aggregation=aggregation)
+        resource_scores: dict[str, float] = {}
+        for name, value in zip(explanation.feature_names, explanation.values):
+            if vnf_of_feature(name) is None:
+                continue
+            for metric in PER_VNF_METRICS:
+                if name.endswith(metric):
+                    resource_scores[metric] = resource_scores.get(
+                        metric, 0.0
+                    ) + abs(float(value))
+                    break
+        return NFVDiagnosis(
+            prediction=score,
+            alert=score >= self.threshold,
+            explanation=explanation,
+            vnf_scores=vnf_scores,
+            vnf_ranking=rank_vnfs(vnf_scores),
+            resource_scores=resource_scores,
+        )
+
+    def report(self, x, *, top_k: int = 5) -> str:
+        """Full operator report for one sample (prediction, signals,
+        per-VNF blame table)."""
+        diagnosis = self.diagnose(x)
+        parts = [
+            format_local_report(
+                diagnosis.explanation,
+                chain=self.chain_,
+                top_k=top_k,
+                threshold=self.threshold,
+            ),
+            "per-VNF attribution:",
+            format_vnf_table(diagnosis.vnf_scores, chain=self.chain_),
+        ]
+        return "\n".join(parts)
+
+    def global_importance(self, X=None, *, max_rows: int = 200):
+        """Dataset-level importances from the pipeline's explainer."""
+        self._check_fitted()
+        if X is None:
+            X = self.X_test_
+        X = np.asarray(X, dtype=float)
+        if len(X) > max_rows:
+            X = X[:max_rows]
+        return self.explainer_.global_importance(X)

@@ -1,0 +1,98 @@
+"""Operator-facing textual reports.
+
+Turns attribution math into the artifact the paper actually motivates:
+a human-readable diagnosis a NOC operator can act on.
+"""
+
+from __future__ import annotations
+
+
+from repro.nfv.telemetry import vnf_of_feature
+
+__all__ = ["format_local_report", "format_global_report", "format_vnf_table"]
+
+
+def _direction(value: float) -> str:
+    return "raises" if value > 0 else "lowers"
+
+
+def format_local_report(
+    explanation,
+    *,
+    chain=None,
+    top_k: int = 5,
+    outcome_name: str = "SLA-violation risk",
+    threshold: float | None = 0.5,
+) -> str:
+    """Render one prediction's explanation as an operator report.
+
+    Parameters
+    ----------
+    explanation:
+        An :class:`~repro.core.explainers.Explanation`.
+    chain:
+        Optional :class:`~repro.nfv.sfc.ServiceFunctionChain` to resolve
+        VNF indices to types.
+    """
+    lines = []
+    lines.append("=" * 62)
+    lines.append(f"PREDICTION REPORT  ({explanation.method})")
+    lines.append("=" * 62)
+    verdict = ""
+    if threshold is not None:
+        verdict = (
+            "  ->  ALERT" if explanation.prediction >= threshold else "  ->  ok"
+        )
+    lines.append(
+        f"{outcome_name}: {explanation.prediction:.3f} "
+        f"(baseline {explanation.base_value:.3f}){verdict}"
+    )
+    lines.append("-" * 62)
+    lines.append(f"top {top_k} contributing signals:")
+    for name, value in explanation.top_features(top_k):
+        vnf = vnf_of_feature(name)
+        location = ""
+        if vnf is not None and chain is not None:
+            inst = chain.instances[vnf]
+            location = f" [{inst.vnf_type} @ {inst.server_id}]"
+        idx = explanation.feature_names.index(name)
+        lines.append(
+            f"  {name:<34} = {explanation.x[idx]:>8.3f}  "
+            f"{_direction(value)} risk by {abs(value):.3f}{location}"
+        )
+    lines.append("-" * 62)
+    return "\n".join(lines)
+
+
+def format_vnf_table(vnf_scores: dict[int, float], chain=None) -> str:
+    """Render per-VNF aggregated attribution as a ranked table."""
+    if not vnf_scores:
+        return "(no VNF-level signals)"
+    total = sum(abs(v) for v in vnf_scores.values()) or 1.0
+    lines = [f"{'rank':>4} {'vnf':>4} {'type':<12} {'score':>8} {'share':>7}"]
+    ranked = sorted(vnf_scores.items(), key=lambda kv: (-abs(kv[1]), kv[0]))
+    for rank, (vnf, score) in enumerate(ranked, start=1):
+        vnf_type = (
+            chain.instances[vnf].vnf_type
+            if chain is not None and vnf < len(chain.instances)
+            else "?"
+        )
+        lines.append(
+            f"{rank:>4} {vnf:>4} {vnf_type:<12} {score:>8.3f} "
+            f"{abs(score) / total:>6.1%}"
+        )
+    return "\n".join(lines)
+
+
+def format_global_report(global_explanation, top_k: int = 10) -> str:
+    """Render dataset-level importances as a bar chart in text."""
+    tops = global_explanation.top_features(top_k)
+    if not tops:
+        return "(no features)"
+    max_score = max(score for _, score in tops) or 1.0
+    width = 30
+    lines = [f"global importance ({global_explanation.method}):"]
+    for name, score in tops:
+        bar = "#" * max(1, int(round(width * score / max_score)))
+        lines.append(f"  {name:<34} {score:>9.4f}  {bar}")
+    return "\n".join(lines)

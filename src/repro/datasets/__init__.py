@@ -1,0 +1,33 @@
+"""Dataset builders.
+
+* :mod:`repro.datasets.nfv_tasks` — the three learning problems the
+  paper's evaluation rests on, generated from the NFV simulator:
+  SLA-violation classification, latency regression, and root-cause
+  classification.
+* :mod:`repro.datasets.synthetic` — synthetic problems with *known*
+  ground-truth feature relevance, used to sanity-check explainers.
+"""
+
+from repro.datasets.nfv_tasks import (
+    NFVDataset,
+    make_latency_dataset,
+    make_root_cause_dataset,
+    make_sla_violation_dataset,
+)
+from repro.datasets.synthetic import (
+    make_interaction_regression,
+    make_linear_regression,
+    make_sparse_classification,
+    make_xor_classification,
+)
+
+__all__ = [
+    "make_interaction_regression",
+    "make_latency_dataset",
+    "make_linear_regression",
+    "make_root_cause_dataset",
+    "make_sla_violation_dataset",
+    "make_sparse_classification",
+    "make_xor_classification",
+    "NFVDataset",
+]

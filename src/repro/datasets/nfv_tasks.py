@@ -1,0 +1,196 @@
+"""The three NFV learning tasks built on the simulator.
+
+Each builder runs the canonical testbed (or a caller-supplied one) and
+packages features + labels + ground truth into an :class:`NFVDataset`,
+which keeps everything an explanation experiment later needs (culprit
+VNFs, fault schedule, the simulation result itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nfv.faults import NO_FAULT, FaultInjector
+from repro.nfv.simulator import SimulationResult, Simulator, Testbed, build_testbed
+from repro.utils.rng import check_random_state, spawn_rngs
+from repro.utils.tabular import FeatureMatrix
+
+__all__ = [
+    "NFVDataset",
+    "make_sla_violation_dataset",
+    "make_latency_dataset",
+    "make_root_cause_dataset",
+]
+
+
+@dataclass
+class NFVDataset:
+    """A learning problem extracted from one simulation run.
+
+    Attributes
+    ----------
+    X:
+        Telemetry features (named columns).
+    y:
+        Task labels (binary ints, floats, or string classes).
+    task:
+        ``"sla_violation"``, ``"latency"`` or ``"root_cause"``.
+    result:
+        The full :class:`SimulationResult` the samples came from.
+    rows:
+        Indices into the simulation epochs each sample corresponds to
+        (identity for the first two tasks, a subset for root-cause).
+    """
+
+    X: FeatureMatrix
+    y: np.ndarray
+    task: str
+    result: SimulationResult
+    rows: np.ndarray = field(default_factory=lambda: np.empty(0, int))
+
+    def __post_init__(self):
+        if len(self.X) != len(self.y):
+            raise ValueError(
+                f"X has {len(self.X)} rows but y has {len(self.y)}"
+            )
+        if self.rows.size == 0:
+            self.rows = np.arange(len(self.y))
+
+    @property
+    def feature_names(self) -> list[str]:
+        return self.X.feature_names
+
+    def culprits_for_sample(self, sample_index: int) -> tuple[int, ...]:
+        """Ground-truth culprit VNF indices for one sample."""
+        return self.result.culprit_vnfs[self.rows[sample_index]]
+
+
+def _run(testbed, n_epochs, injector, random_state, simulator_kwargs):
+    rng = check_random_state(random_state)
+    tb_rng, sim_rng = spawn_rngs(rng, 2)
+    if testbed is None:
+        testbed = build_testbed(random_state=tb_rng)
+    if not isinstance(testbed, Testbed):
+        raise TypeError(f"testbed must be a Testbed, got {type(testbed).__name__}")
+    sim = Simulator(testbed, random_state=sim_rng, **(simulator_kwargs or {}))
+    return sim.run(n_epochs, fault_injector=injector)
+
+
+def make_sla_violation_dataset(
+    n_epochs: int = 4000,
+    *,
+    testbed: Testbed | None = None,
+    with_faults: bool = True,
+    horizon: int = 0,
+    random_state=None,
+    simulator_kwargs: dict | None = None,
+) -> NFVDataset:
+    """Binary classification: will this epoch violate the chain's SLA?
+
+    This is the headline task (E1, E3–E5, E7): features are the noisy
+    telemetry, the label is the ground-truth SLA check.
+
+    ``horizon > 0`` turns diagnosis into *forecasting*: features at
+    epoch ``t`` predict the violation at ``t + horizon``, which removes
+    the near-deterministic shortcut of reading the current queue delays.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    injector = FaultInjector() if with_faults else None
+    result = _run(testbed, n_epochs, injector, random_state, simulator_kwargs)
+    X = result.features
+    y = result.sla_violation.copy()
+    rows = np.arange(result.n_epochs)
+    if horizon > 0:
+        X = X.take(np.arange(result.n_epochs - horizon))
+        y = y[horizon:]
+        rows = np.arange(horizon, result.n_epochs)
+    return NFVDataset(
+        X=X,
+        y=y,
+        task="sla_violation",
+        result=result,
+        rows=rows,
+    )
+
+
+def make_latency_dataset(
+    n_epochs: int = 4000,
+    *,
+    testbed: Testbed | None = None,
+    with_faults: bool = True,
+    log_target: bool = False,
+    horizon: int = 0,
+    random_state=None,
+    simulator_kwargs: dict | None = None,
+) -> NFVDataset:
+    """Regression: predict the chain's end-to-end latency (ms).
+
+    ``log_target`` trains on ``log1p(latency)`` — the latency
+    distribution is heavy-tailed, and tree ensembles regress the log
+    much better.  ``horizon`` shifts the target forward as in
+    :func:`make_sla_violation_dataset`.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    injector = FaultInjector() if with_faults else None
+    result = _run(testbed, n_epochs, injector, random_state, simulator_kwargs)
+    y = result.latency_ms.copy()
+    if log_target:
+        y = np.log1p(y)
+    X = result.features
+    rows = np.arange(result.n_epochs)
+    if horizon > 0:
+        X = X.take(np.arange(result.n_epochs - horizon))
+        y = y[horizon:]
+        rows = np.arange(horizon, result.n_epochs)
+    return NFVDataset(X=X, y=y, task="latency", result=result, rows=rows)
+
+
+def make_root_cause_dataset(
+    n_epochs: int = 6000,
+    *,
+    testbed: Testbed | None = None,
+    include_none_fraction: float = 0.5,
+    fault_rate: float = 0.02,
+    random_state=None,
+    simulator_kwargs: dict | None = None,
+) -> NFVDataset:
+    """Multi-class: which fault kind (or none) explains this epoch?
+
+    Samples every fault-active epoch plus a random subset of fault-free
+    epochs (``include_none_fraction`` of the fault count, so classes are
+    not hopelessly imbalanced).  ``rows`` maps samples back to epochs so
+    the culprit-VNF ground truth stays reachable (E6).
+    """
+    if not 0.0 <= include_none_fraction <= 10.0:
+        raise ValueError(
+            f"include_none_fraction must be in [0, 10], got {include_none_fraction}"
+        )
+    rng = check_random_state(random_state)
+    data_rng, pick_rng = spawn_rngs(rng, 2)
+    injector = FaultInjector(rate=fault_rate)
+    result = _run(testbed, n_epochs, injector, data_rng, simulator_kwargs)
+
+    labels = result.root_cause
+    fault_rows = np.flatnonzero(labels != NO_FAULT)
+    none_rows = np.flatnonzero(labels == NO_FAULT)
+    n_none = min(len(none_rows), int(round(include_none_fraction * len(fault_rows))))
+    if n_none > 0:
+        none_pick = pick_rng.choice(none_rows, size=n_none, replace=False)
+        rows = np.sort(np.concatenate([fault_rows, none_pick]))
+    else:
+        rows = fault_rows
+    if len(rows) == 0:
+        raise RuntimeError(
+            "simulation produced no fault epochs; increase n_epochs or fault_rate"
+        )
+    return NFVDataset(
+        X=result.features.take(rows),
+        y=labels[rows].astype(str),
+        task="root_cause",
+        result=result,
+        rows=rows,
+    )

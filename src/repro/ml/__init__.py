@@ -1,0 +1,55 @@
+"""From-scratch machine-learning substrate (numpy only).
+
+Implements the model families a `scikit-learn`-based NFV paper would use,
+with a compatible ``fit`` / ``predict`` / ``predict_proba`` API:
+
+* linear models — :class:`~repro.ml.linear.LinearRegression`,
+  :class:`~repro.ml.linear.RidgeRegression`,
+  :class:`~repro.ml.linear.LogisticRegression`
+* trees — :class:`~repro.ml.tree.DecisionTreeClassifier`,
+  :class:`~repro.ml.tree.DecisionTreeRegressor`
+* ensembles — :class:`~repro.ml.forest.RandomForestClassifier`,
+  :class:`~repro.ml.forest.RandomForestRegressor`,
+  :class:`~repro.ml.boosting.GradientBoostingClassifier`,
+  :class:`~repro.ml.boosting.GradientBoostingRegressor`
+* neural — :class:`~repro.ml.mlp.MLPClassifier`,
+  :class:`~repro.ml.mlp.MLPRegressor`
+* baselines — :class:`~repro.ml.naive_bayes.GaussianNB`,
+  :class:`~repro.ml.neighbors.KNeighborsClassifier`,
+  :class:`~repro.ml.neighbors.KNeighborsRegressor`
+
+plus preprocessing (scalers, one-hot), metrics, and model selection.
+"""
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
+from repro.ml.boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.linear import LinearRegression, LogisticRegression, RidgeRegression
+from repro.ml.mlp import MLPClassifier, MLPRegressor
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.neighbors import KNeighborsClassifier, KNeighborsRegressor
+from repro.ml.preprocessing import MinMaxScaler, OneHotEncoder, StandardScaler
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "BaseEstimator",
+    "ClassifierMixin",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GaussianNB",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "KNeighborsClassifier",
+    "KNeighborsRegressor",
+    "LinearRegression",
+    "LogisticRegression",
+    "MinMaxScaler",
+    "MLPClassifier",
+    "MLPRegressor",
+    "OneHotEncoder",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "RegressorMixin",
+    "RidgeRegression",
+    "StandardScaler",
+]

@@ -1,0 +1,208 @@
+"""Linear models: OLS, ridge, and logistic regression.
+
+These serve both as baselines in the evaluation (E1) and as the solver
+inside the LIME / KernelSHAP explainers (weighted ridge regression).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
+from repro.utils.validation import check_array, check_fitted, check_X_y
+
+__all__ = [
+    "LinearRegression",
+    "RidgeRegression",
+    "LogisticRegression",
+    "solve_weighted_ridge",
+]
+
+
+def solve_weighted_ridge(
+    X: np.ndarray,
+    y: np.ndarray,
+    sample_weight: np.ndarray | None = None,
+    alpha: float = 0.0,
+    fit_intercept: bool = True,
+) -> tuple[np.ndarray, float]:
+    """Solve ``min_w sum_i s_i (y_i - x_i.w - b)^2 + alpha ||w||^2``.
+
+    The intercept ``b`` is never regularized.  Returns ``(coef, intercept)``.
+    This is the work-horse used by LIME and KernelSHAP.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n, d = X.shape
+    if sample_weight is None:
+        sample_weight = np.ones(n)
+    else:
+        sample_weight = np.asarray(sample_weight, dtype=float)
+        if np.any(sample_weight < 0):
+            raise ValueError("sample_weight must be non-negative")
+    if fit_intercept:
+        Xd = np.hstack([X, np.ones((n, 1))])
+    else:
+        Xd = X
+    sw = sample_weight[:, None]
+    gram = Xd.T @ (sw * Xd)
+    if alpha > 0:
+        reg = np.eye(Xd.shape[1]) * alpha
+        if fit_intercept:
+            reg[-1, -1] = 0.0
+        gram = gram + reg
+    rhs = Xd.T @ (sample_weight * y)
+    # lstsq handles the singular case (e.g. duplicated coalitions) gracefully
+    beta, *_ = np.linalg.lstsq(gram, rhs, rcond=None)
+    if fit_intercept:
+        return beta[:-1], float(beta[-1])
+    return beta, 0.0
+
+
+class LinearRegression(BaseEstimator, RegressorMixin):
+    """Ordinary least squares via ``numpy.linalg.lstsq``."""
+
+    def __init__(self, fit_intercept: bool = True):
+        self.fit_intercept = fit_intercept
+        self.coef_ = None
+        self.intercept_ = None
+
+    def fit(self, X, y) -> "LinearRegression":
+        X, y = check_X_y(X, y, y_numeric=True)
+        self.n_features_in_ = X.shape[1]
+        if self.fit_intercept:
+            Xd = np.hstack([X, np.ones((len(X), 1))])
+        else:
+            Xd = X
+        beta, *_ = np.linalg.lstsq(Xd, y, rcond=None)
+        if self.fit_intercept:
+            self.coef_, self.intercept_ = beta[:-1], float(beta[-1])
+        else:
+            self.coef_, self.intercept_ = beta, 0.0
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "coef_")
+        X = check_array(X, name="X")
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(BaseEstimator, RegressorMixin):
+    """L2-regularized least squares (intercept unpenalized)."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True):
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+        self.coef_ = None
+        self.intercept_ = None
+
+    def fit(self, X, y, sample_weight=None) -> "RidgeRegression":
+        X, y = check_X_y(X, y, y_numeric=True)
+        self.n_features_in_ = X.shape[1]
+        self.coef_, self.intercept_ = solve_weighted_ridge(
+            X, y, sample_weight, alpha=self.alpha, fit_intercept=self.fit_intercept
+        )
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "coef_")
+        X = check_array(X, name="X")
+        return X @ self.coef_ + self.intercept_
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def _softmax(Z: np.ndarray) -> np.ndarray:
+    Z = Z - Z.max(axis=1, keepdims=True)
+    e = np.exp(Z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression(BaseEstimator, ClassifierMixin):
+    """Multinomial logistic regression trained by full-batch gradient
+    descent with backtracking on the learning rate.
+
+    Parameters
+    ----------
+    c:
+        Inverse regularization strength (larger = less regularization).
+    max_iter, tol:
+        Optimization budget and gradient-norm stopping tolerance.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        max_iter: int = 500,
+        tol: float = 1e-6,
+        learning_rate: float = 0.5,
+        fit_intercept: bool = True,
+    ):
+        if c <= 0:
+            raise ValueError(f"c must be positive, got {c}")
+        self.c = c
+        self.max_iter = max_iter
+        self.tol = tol
+        self.learning_rate = learning_rate
+        self.fit_intercept = fit_intercept
+        self.coef_ = None
+        self.intercept_ = None
+        self.classes_ = None
+        self.n_iter_ = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "LogisticRegression":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        n, d = X.shape
+        k = len(self.classes_)
+        Y = np.zeros((n, k))
+        Y[np.arange(n), codes] = 1.0
+        W = np.zeros((d, k))
+        b = np.zeros(k)
+        lam = 1.0 / (self.c * n)
+        lr = self.learning_rate
+        prev_loss = np.inf
+        for it in range(self.max_iter):
+            logits = X @ W + b
+            P = _softmax(logits)
+            loss = -np.mean(np.sum(Y * np.log(np.clip(P, 1e-12, 1.0)), axis=1))
+            loss += 0.5 * lam * np.sum(W * W)
+            grad_W = X.T @ (P - Y) / n + lam * W
+            grad_b = (P - Y).mean(axis=0) if self.fit_intercept else np.zeros(k)
+            grad_norm = np.sqrt(np.sum(grad_W**2) + np.sum(grad_b**2))
+            if grad_norm < self.tol:
+                break
+            # backtrack if the step increased the loss
+            if loss > prev_loss + 1e-12:
+                lr *= 0.5
+            prev_loss = loss
+            W -= lr * grad_W
+            b -= lr * grad_b
+        self.n_iter_ = it + 1
+        self.n_features_in_ = d
+        self.coef_ = W
+        self.intercept_ = b
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        check_fitted(self, "coef_")
+        X = check_array(X, name="X")
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, columns ordered as ``classes_``."""
+        return _softmax(self.decision_function(X))
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self._decode_labels(np.argmax(proba, axis=1))

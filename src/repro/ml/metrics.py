@@ -1,0 +1,257 @@
+"""Classification and regression metrics (numpy implementations).
+
+All metrics validate that inputs have matching lengths and, for
+probabilistic metrics, that probabilities are well-formed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_consistent_length
+
+__all__ = [
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "roc_auc_score",
+    "roc_curve",
+    "log_loss",
+    "brier_score",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "r2_score",
+    "classification_report",
+]
+
+
+# ----------------------------------------------------------------------
+# classification
+# ----------------------------------------------------------------------
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly-matching labels."""
+    y_true, y_pred = np.asarray(y_true), np.asarray(y_pred)
+    check_consistent_length(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, *, labels=None) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true ``i`` predicted ``j``.
+
+    Parameters
+    ----------
+    labels:
+        Explicit label ordering; defaults to the sorted union of labels
+        observed in ``y_true`` and ``y_pred``.
+    """
+    y_true, y_pred = np.asarray(y_true), np.asarray(y_pred)
+    check_consistent_length(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    n = len(labels)
+    cm = np.zeros((n, n), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        cm[index[t], index[p]] += 1
+    return cm
+
+
+def _binary_counts(y_true, y_pred, pos_label):
+    y_true, y_pred = np.asarray(y_true), np.asarray(y_pred)
+    check_consistent_length(y_true, y_pred)
+    tp = np.sum((y_true == pos_label) & (y_pred == pos_label))
+    fp = np.sum((y_true != pos_label) & (y_pred == pos_label))
+    fn = np.sum((y_true == pos_label) & (y_pred != pos_label))
+    return float(tp), float(fp), float(fn)
+
+
+def precision_score(y_true, y_pred, *, pos_label=1, average: str = "binary") -> float:
+    """Precision = TP / (TP + FP).
+
+    ``average='binary'`` scores ``pos_label``; ``'macro'`` averages the
+    per-class precision over all observed classes.
+    """
+    if average == "binary":
+        tp, fp, _ = _binary_counts(y_true, y_pred, pos_label)
+        return tp / (tp + fp) if (tp + fp) > 0 else 0.0
+    if average == "macro":
+        labels = np.unique(np.asarray(y_true))
+        return float(
+            np.mean([precision_score(y_true, y_pred, pos_label=c) for c in labels])
+        )
+    raise ValueError(f"unknown average {average!r}")
+
+
+def recall_score(y_true, y_pred, *, pos_label=1, average: str = "binary") -> float:
+    """Recall = TP / (TP + FN)."""
+    if average == "binary":
+        tp, _, fn = _binary_counts(y_true, y_pred, pos_label)
+        return tp / (tp + fn) if (tp + fn) > 0 else 0.0
+    if average == "macro":
+        labels = np.unique(np.asarray(y_true))
+        return float(
+            np.mean([recall_score(y_true, y_pred, pos_label=c) for c in labels])
+        )
+    raise ValueError(f"unknown average {average!r}")
+
+
+def f1_score(y_true, y_pred, *, pos_label=1, average: str = "binary") -> float:
+    """Harmonic mean of precision and recall."""
+    if average == "binary":
+        p = precision_score(y_true, y_pred, pos_label=pos_label)
+        r = recall_score(y_true, y_pred, pos_label=pos_label)
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+    if average == "macro":
+        labels = np.unique(np.asarray(y_true))
+        return float(
+            np.mean([f1_score(y_true, y_pred, pos_label=c) for c in labels])
+        )
+    raise ValueError(f"unknown average {average!r}")
+
+
+def roc_curve(y_true, y_score):
+    """ROC curve for binary labels.
+
+    Returns ``(fpr, tpr, thresholds)`` with thresholds in decreasing
+    order, including the ``(0, 0)`` and ``(1, 1)`` endpoints.
+    """
+    y_true = np.asarray(y_true).astype(float)
+    y_score = np.asarray(y_score, dtype=float)
+    check_consistent_length(y_true, y_score)
+    classes = np.unique(y_true)
+    if len(classes) != 2:
+        raise ValueError(f"roc_curve needs exactly 2 classes, got {classes}")
+    pos = classes[1]
+    order = np.argsort(-y_score, kind="stable")
+    y_sorted = (y_true[order] == pos).astype(float)
+    scores_sorted = y_score[order]
+    # keep only the last occurrence of each distinct threshold
+    distinct = np.where(np.diff(scores_sorted))[0]
+    idx = np.concatenate([distinct, [len(y_sorted) - 1]])
+    tps = np.cumsum(y_sorted)[idx]
+    fps = (idx + 1) - tps
+    n_pos = y_sorted.sum()
+    n_neg = len(y_sorted) - n_pos
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    thresholds = np.concatenate([[np.inf], scores_sorted[idx]])
+    return fpr, tpr, thresholds
+
+
+def roc_auc_score(y_true, y_score) -> float:
+    """Area under the ROC curve (probability of correct ranking)."""
+    fpr, tpr, _ = roc_curve(y_true, y_score)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def log_loss(y_true, y_proba, *, eps: float = 1e-12) -> float:
+    """Negative mean log-likelihood.
+
+    ``y_proba`` may be a 1-D vector of positive-class probabilities for
+    binary problems or an ``(n, k)`` matrix whose columns follow sorted
+    label order.
+    """
+    y_true = np.asarray(y_true)
+    y_proba = np.asarray(y_proba, dtype=float)
+    check_consistent_length(y_true, y_proba)
+    if y_proba.ndim == 1:
+        p = np.clip(y_proba, eps, 1 - eps)
+        classes = np.unique(y_true)
+        if len(classes) > 2:
+            raise ValueError("1-D probabilities require binary labels")
+        if set(classes.tolist()) <= {0, 1}:
+            pos = 1
+        else:
+            pos = classes[-1]
+        is_pos = (y_true == pos).astype(float)
+        return float(-np.mean(is_pos * np.log(p) + (1 - is_pos) * np.log(1 - p)))
+    classes = np.unique(y_true)
+    if y_proba.shape[1] != len(classes):
+        raise ValueError(
+            f"y_proba has {y_proba.shape[1]} columns for {len(classes)} classes"
+        )
+    codes = np.searchsorted(classes, y_true)
+    p = np.clip(y_proba[np.arange(len(y_true)), codes], eps, 1.0)
+    return float(-np.mean(np.log(p)))
+
+
+def brier_score(y_true, y_proba) -> float:
+    """Mean squared error of positive-class probability (binary only)."""
+    y_true = np.asarray(y_true)
+    y_proba = np.asarray(y_proba, dtype=float)
+    check_consistent_length(y_true, y_proba)
+    classes = np.unique(y_true)
+    if len(classes) != 2:
+        raise ValueError("brier_score requires binary labels")
+    is_pos = (y_true == classes[1]).astype(float)
+    return float(np.mean((y_proba - is_pos) ** 2))
+
+
+def classification_report(y_true, y_pred) -> str:
+    """Human-readable per-class precision/recall/F1 table."""
+    labels = np.unique(np.asarray(y_true))
+    lines = [f"{'class':>12} {'precision':>9} {'recall':>9} {'f1':>9} {'support':>9}"]
+    y_true_arr = np.asarray(y_true)
+    for c in labels:
+        p = precision_score(y_true, y_pred, pos_label=c)
+        r = recall_score(y_true, y_pred, pos_label=c)
+        f = f1_score(y_true, y_pred, pos_label=c)
+        support = int(np.sum(y_true_arr == c))
+        lines.append(f"{str(c):>12} {p:9.3f} {r:9.3f} {f:9.3f} {support:9d}")
+    lines.append(f"{'accuracy':>12} {accuracy_score(y_true, y_pred):9.3f}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# regression
+# ----------------------------------------------------------------------
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean of squared residuals."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    check_consistent_length(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Square root of :func:`mean_squared_error`."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean of absolute residuals."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    check_consistent_length(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mean_absolute_percentage_error(y_true, y_pred, *, eps: float = 1e-9) -> float:
+    """Mean of ``|residual| / max(|y_true|, eps)``."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    check_consistent_length(y_true, y_pred)
+    denom = np.maximum(np.abs(y_true), eps)
+    return float(np.mean(np.abs(y_true - y_pred) / denom))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination; 1.0 is perfect, 0.0 matches the mean.
+
+    A constant ``y_true`` yields 1.0 for a perfect prediction and 0.0
+    otherwise (matching scikit-learn's convention).
+    """
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    check_consistent_length(y_true, y_pred)
+    ss_res = np.sum((y_true - y_pred) ** 2)
+    ss_tot = np.sum((y_true - np.mean(y_true)) ** 2)
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return float(1.0 - ss_res / ss_tot)

@@ -1,0 +1,222 @@
+"""Multi-layer perceptrons trained with Adam.
+
+Small, fully-connected networks sufficient for tabular NFV telemetry:
+ReLU/tanh hidden layers, softmax cross-entropy for classification and
+squared loss for regression, mini-batch Adam with optional early
+stopping on training loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_array, check_fitted, check_X_y
+
+__all__ = ["MLPClassifier", "MLPRegressor"]
+
+_ACTIVATIONS = {
+    "relu": (lambda z: np.maximum(z, 0.0), lambda z, a: (z > 0).astype(float)),
+    "tanh": (np.tanh, lambda z, a: 1.0 - a * a),
+}
+
+
+def _softmax(Z: np.ndarray) -> np.ndarray:
+    Z = Z - Z.max(axis=1, keepdims=True)
+    e = np.exp(Z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class _AdamState:
+    def __init__(self, params, lr: float):
+        self.lr = lr
+        self.beta1, self.beta2, self.eps = 0.9, 0.999, 1e-8
+        self.m = [np.zeros_like(p) for p in params]
+        self.v = [np.zeros_like(p) for p in params]
+        self.t = 0
+
+    def step(self, params, grads) -> None:
+        self.t += 1
+        for i, (p, g) in enumerate(zip(params, grads)):
+            self.m[i] = self.beta1 * self.m[i] + (1 - self.beta1) * g
+            self.v[i] = self.beta2 * self.v[i] + (1 - self.beta2) * g * g
+            m_hat = self.m[i] / (1 - self.beta1**self.t)
+            v_hat = self.v[i] / (1 - self.beta2**self.t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class _BaseMLP(BaseEstimator):
+    def __init__(
+        self,
+        hidden_layer_sizes: tuple[int, ...] = (64, 32),
+        activation: str = "relu",
+        learning_rate: float = 1e-3,
+        alpha: float = 1e-4,
+        batch_size: int = 64,
+        max_epochs: int = 200,
+        tol: float = 1e-6,
+        patience: int = 10,
+        random_state=None,
+    ):
+        if activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"activation must be one of {sorted(_ACTIVATIONS)}, got {activation!r}"
+            )
+        if any(h < 1 for h in hidden_layer_sizes):
+            raise ValueError(f"hidden sizes must be >= 1, got {hidden_layer_sizes}")
+        self.hidden_layer_sizes = tuple(hidden_layer_sizes)
+        self.activation = activation
+        self.learning_rate = learning_rate
+        self.alpha = alpha
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.tol = tol
+        self.patience = patience
+        self.random_state = random_state
+        self.weights_ = None
+        self.biases_ = None
+
+    # ------------------------------------------------------------------
+    def _init_params(self, n_in: int, n_out: int, rng) -> None:
+        sizes = [n_in, *self.hidden_layer_sizes, n_out]
+        self.weights_ = []
+        self.biases_ = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights_.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray):
+        """Return (pre-activations, activations) per layer."""
+        act_fn, _ = _ACTIVATIONS[self.activation]
+        zs, activations = [], [X]
+        a = X
+        last = len(self.weights_) - 1
+        for i, (W, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = a @ W + b
+            zs.append(z)
+            a = z if i == last else act_fn(z)
+            activations.append(a)
+        return zs, activations
+
+    def _backward(self, zs, activations, delta_out: np.ndarray):
+        """Backpropagate ``delta_out`` (dLoss/dz of the output layer)."""
+        _, act_grad = _ACTIVATIONS[self.activation]
+        n = len(delta_out)
+        grads_W = [None] * len(self.weights_)
+        grads_b = [None] * len(self.biases_)
+        delta = delta_out
+        for i in reversed(range(len(self.weights_))):
+            grads_W[i] = activations[i].T @ delta / n + self.alpha * self.weights_[i]
+            grads_b[i] = delta.mean(axis=0)
+            if i > 0:
+                delta = (delta @ self.weights_[i].T) * act_grad(
+                    zs[i - 1], activations[i]
+                )
+        return grads_W, grads_b
+
+    def input_gradients(self, X, output_index: int = 0) -> np.ndarray:
+        """Analytic gradient of one raw output w.r.t. the inputs.
+
+        For classifiers the gradient is of the *logit* (pre-softmax)
+        of column ``output_index``; for regressors of the prediction.
+        Used by gradient-based explainers (Integrated Gradients).
+        """
+        check_fitted(self, "weights_")
+        X = check_array(X, name="X")
+        _, act_grad = _ACTIVATIONS[self.activation]
+        zs, activations = self._forward(X)
+        out_dim = self.weights_[-1].shape[1]
+        if not 0 <= output_index < out_dim:
+            raise ValueError(
+                f"output_index {output_index} out of range for {out_dim} outputs"
+            )
+        grad = np.zeros((len(X), out_dim))
+        grad[:, output_index] = 1.0
+        for i in reversed(range(len(self.weights_))):
+            grad = grad @ self.weights_[i].T
+            if i > 0:
+                grad = grad * act_grad(zs[i - 1], activations[i])
+        return grad
+
+    def _fit_loop(self, X, T, loss_and_delta) -> None:
+        rng = check_random_state(self.random_state)
+        self._init_params(X.shape[1], T.shape[1], rng)
+        adam = _AdamState(self.weights_ + self.biases_, self.learning_rate)
+        n = len(X)
+        best_loss = np.inf
+        stale = 0
+        self.loss_curve_ = []
+        for epoch in range(self.max_epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                rows = order[start : start + self.batch_size]
+                zs, activations = self._forward(X[rows])
+                loss, delta = loss_and_delta(activations[-1], T[rows])
+                grads_W, grads_b = self._backward(zs, activations, delta)
+                adam.step(self.weights_ + self.biases_, grads_W + grads_b)
+                epoch_loss += loss * len(rows)
+            epoch_loss /= n
+            self.loss_curve_.append(epoch_loss)
+            if epoch_loss < best_loss - self.tol:
+                best_loss = epoch_loss
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+        self.n_epochs_ = epoch + 1
+        self.n_features_in_ = X.shape[1]
+
+
+class MLPClassifier(_BaseMLP, ClassifierMixin):
+    """Feed-forward classifier with softmax cross-entropy loss."""
+
+    def fit(self, X, y) -> "MLPClassifier":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        k = len(self.classes_)
+        T = np.zeros((len(codes), k))
+        T[np.arange(len(codes)), codes] = 1.0
+
+        def loss_and_delta(logits, target):
+            proba = _softmax(logits)
+            loss = -np.mean(
+                np.sum(target * np.log(np.clip(proba, 1e-12, 1.0)), axis=1)
+            )
+            return loss, proba - target
+
+        self._fit_loop(X, T, loss_and_delta)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_fitted(self, "weights_")
+        X = check_array(X, name="X")
+        _, activations = self._forward(X)
+        return _softmax(activations[-1])
+
+    def predict(self, X) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.predict_proba(X), axis=1))
+
+
+class MLPRegressor(_BaseMLP, RegressorMixin):
+    """Feed-forward regressor with squared loss."""
+
+    def fit(self, X, y) -> "MLPRegressor":
+        X, y = check_X_y(X, y, y_numeric=True)
+        T = y.reshape(-1, 1)
+
+        def loss_and_delta(out, target):
+            diff = out - target
+            return float(np.mean(diff**2)), 2.0 * diff
+
+        self._fit_loop(X, T, loss_and_delta)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "weights_")
+        X = check_array(X, name="X")
+        _, activations = self._forward(X)
+        return activations[-1][:, 0]

@@ -1,0 +1,215 @@
+"""Dataset splitting, cross-validation, and grid search."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_consistent_length
+
+__all__ = [
+    "train_test_split",
+    "KFold",
+    "StratifiedKFold",
+    "cross_val_score",
+    "ParameterGrid",
+    "GridSearchCV",
+]
+
+
+def train_test_split(
+    *arrays,
+    test_size: float = 0.25,
+    random_state=None,
+    stratify=None,
+):
+    """Split arrays into random train/test subsets.
+
+    Parameters
+    ----------
+    test_size:
+        Fraction of samples in the test split (0 < test_size < 1).
+    stratify:
+        Optional label array; when given, each class keeps (approximately)
+        the same proportion in both splits.
+
+    Returns
+    -------
+    list
+        ``[a_train, a_test, b_train, b_test, ...]`` in input order.
+    """
+    if not arrays:
+        raise ValueError("at least one array required")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    check_consistent_length(*arrays)
+    n = len(arrays[0])
+    rng = check_random_state(random_state)
+    if stratify is None:
+        perm = rng.permutation(n)
+        n_test = max(1, int(round(test_size * n)))
+        test_idx, train_idx = perm[:n_test], perm[n_test:]
+    else:
+        stratify = np.asarray(stratify)
+        if len(stratify) != n:
+            raise ValueError("stratify length does not match arrays")
+        test_parts, train_parts = [], []
+        for label in np.unique(stratify):
+            rows = np.flatnonzero(stratify == label)
+            rows = rng.permutation(rows)
+            n_test = max(1, int(round(test_size * len(rows))))
+            if n_test >= len(rows):
+                n_test = len(rows) - 1
+            if n_test < 1:
+                raise ValueError(
+                    f"class {label!r} has too few samples ({len(rows)}) to split"
+                )
+            test_parts.append(rows[:n_test])
+            train_parts.append(rows[n_test:])
+        test_idx = rng.permutation(np.concatenate(test_parts))
+        train_idx = rng.permutation(np.concatenate(train_parts))
+    out = []
+    for arr in arrays:
+        arr = np.asarray(arr)
+        out.extend([arr[train_idx], arr[test_idx]])
+    return out
+
+
+class KFold:
+    """Standard k-fold splitter."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, random_state=None):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y=None):
+        """Yield ``(train_idx, test_idx)`` pairs."""
+        n = len(X)
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        indices = np.arange(n)
+        if self.shuffle:
+            indices = check_random_state(self.random_state).permutation(n)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train_idx, test_idx
+
+
+class StratifiedKFold:
+    """K-fold that preserves class proportions in every fold."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, random_state=None):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y):
+        y = np.asarray(y)
+        if len(y) != len(X):
+            raise ValueError("X and y must have the same length")
+        rng = check_random_state(self.random_state)
+        # assign each sample a fold id, stratified per class
+        fold_of = np.empty(len(y), dtype=int)
+        for label in np.unique(y):
+            rows = np.flatnonzero(y == label)
+            if len(rows) < self.n_splits:
+                raise ValueError(
+                    f"class {label!r} has {len(rows)} samples < {self.n_splits} folds"
+                )
+            if self.shuffle:
+                rows = rng.permutation(rows)
+            fold_of[rows] = np.arange(len(rows)) % self.n_splits
+        for i in range(self.n_splits):
+            test_idx = np.flatnonzero(fold_of == i)
+            train_idx = np.flatnonzero(fold_of != i)
+            yield train_idx, test_idx
+
+
+def cross_val_score(estimator, X, y, *, cv=5, scoring=None) -> np.ndarray:
+    """Fit/score ``estimator`` over CV folds; returns the per-fold scores.
+
+    ``cv`` may be an int (KFold) or any object with a ``split`` method.
+    ``scoring`` is a callable ``f(y_true, y_pred) -> float``; defaults to
+    the estimator's own ``score``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    splitter = KFold(n_splits=cv) if isinstance(cv, int) else cv
+    scores = []
+    for train_idx, test_idx in splitter.split(X, y):
+        model = estimator.clone()
+        model.fit(X[train_idx], y[train_idx])
+        if scoring is None:
+            scores.append(model.score(X[test_idx], y[test_idx]))
+        else:
+            scores.append(scoring(y[test_idx], model.predict(X[test_idx])))
+    return np.asarray(scores)
+
+
+class ParameterGrid:
+    """Iterate over the cartesian product of a parameter grid dict."""
+
+    def __init__(self, grid: dict):
+        if not grid:
+            raise ValueError("empty parameter grid")
+        self.grid = {k: list(v) for k, v in grid.items()}
+
+    def __iter__(self):
+        keys = sorted(self.grid)
+        for combo in product(*(self.grid[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+    def __len__(self):
+        out = 1
+        for v in self.grid.values():
+            out *= len(v)
+        return out
+
+
+class GridSearchCV:
+    """Exhaustive CV search over a parameter grid.
+
+    After ``fit``: ``best_params_``, ``best_score_``, ``best_estimator_``
+    (refitted on the full data) and ``cv_results_`` (list of dicts).
+    """
+
+    def __init__(self, estimator, param_grid: dict, *, cv=3, scoring=None):
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.cv = cv
+        self.scoring = scoring
+        self.best_params_ = None
+        self.best_score_ = None
+        self.best_estimator_ = None
+        self.cv_results_ = None
+
+    def fit(self, X, y) -> "GridSearchCV":
+        self.cv_results_ = []
+        best = (-np.inf, None)
+        for params in ParameterGrid(self.param_grid):
+            model = self.estimator.clone().set_params(**params)
+            scores = cross_val_score(model, X, y, cv=self.cv, scoring=self.scoring)
+            mean = float(np.mean(scores))
+            self.cv_results_.append(
+                {"params": params, "mean_score": mean, "scores": scores}
+            )
+            if mean > best[0]:
+                best = (mean, params)
+        self.best_score_, self.best_params_ = best
+        self.best_estimator_ = self.estimator.clone().set_params(**self.best_params_)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X):
+        if self.best_estimator_ is None:
+            raise RuntimeError("GridSearchCV is not fitted yet")
+        return self.best_estimator_.predict(X)

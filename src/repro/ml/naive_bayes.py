@@ -1,0 +1,58 @@
+"""Gaussian naive Bayes — the cheapest classification baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin
+from repro.utils.validation import check_array, check_fitted, check_X_y
+
+__all__ = ["GaussianNB"]
+
+
+class GaussianNB(BaseEstimator, ClassifierMixin):
+    """Per-class independent Gaussians with variance smoothing."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        if var_smoothing < 0:
+            raise ValueError(f"var_smoothing must be >= 0, got {var_smoothing}")
+        self.var_smoothing = var_smoothing
+        self.theta_ = None
+        self.var_ = None
+        self.class_prior_ = None
+
+    def fit(self, X, y) -> "GaussianNB":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        k = len(self.classes_)
+        d = X.shape[1]
+        self.theta_ = np.zeros((k, d))
+        self.var_ = np.zeros((k, d))
+        self.class_prior_ = np.zeros(k)
+        eps = self.var_smoothing * X.var(axis=0).max()
+        for c in range(k):
+            rows = codes == c
+            self.theta_[c] = X[rows].mean(axis=0)
+            self.var_[c] = X[rows].var(axis=0) + max(eps, 1e-12)
+            self.class_prior_[c] = rows.mean()
+        self.n_features_in_ = d
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        jll = np.zeros((len(X), len(self.classes_)))
+        for c in range(len(self.classes_)):
+            log_det = np.sum(np.log(2.0 * np.pi * self.var_[c]))
+            maha = np.sum((X - self.theta_[c]) ** 2 / self.var_[c], axis=1)
+            jll[:, c] = np.log(self.class_prior_[c]) - 0.5 * (log_det + maha)
+        return jll
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_fitted(self, "theta_")
+        X = check_array(X, name="X")
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        p = np.exp(jll)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def predict(self, X) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.predict_proba(X), axis=1))

@@ -1,0 +1,83 @@
+"""k-nearest-neighbour models (brute-force, vectorized distances)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
+from repro.utils.validation import check_array, check_fitted, check_X_y
+
+__all__ = ["KNeighborsClassifier", "KNeighborsRegressor"]
+
+
+def _pairwise_sq_distances(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Squared euclidean distances between rows of A and rows of B."""
+    aa = np.sum(A * A, axis=1)[:, None]
+    bb = np.sum(B * B, axis=1)[None, :]
+    return np.maximum(aa + bb - 2.0 * (A @ B.T), 0.0)
+
+
+class _BaseKNN(BaseEstimator):
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform"):
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._X = None
+        self._y = None
+
+    def _neighbors(self, X: np.ndarray):
+        k = min(self.n_neighbors, len(self._X))
+        d2 = _pairwise_sq_distances(X, self._X)
+        idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        dists = np.sqrt(np.take_along_axis(d2, idx, axis=1))
+        if self.weights == "uniform":
+            w = np.ones_like(dists)
+        else:
+            w = 1.0 / np.maximum(dists, 1e-12)
+        return idx, w
+
+
+class KNeighborsClassifier(_BaseKNN, ClassifierMixin):
+    """Majority/weighted vote over the k nearest training points."""
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        self._X, self._y = X, codes
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_fitted(self, "_X")
+        X = check_array(X, name="X")
+        idx, w = self._neighbors(X)
+        k_classes = len(self.classes_)
+        proba = np.zeros((len(X), k_classes))
+        neigh_codes = self._y[idx]
+        for c in range(k_classes):
+            proba[:, c] = np.sum(w * (neigh_codes == c), axis=1)
+        proba /= proba.sum(axis=1, keepdims=True)
+        return proba
+
+    def predict(self, X) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.predict_proba(X), axis=1))
+
+
+class KNeighborsRegressor(_BaseKNN, RegressorMixin):
+    """Weighted mean of the k nearest training targets."""
+
+    def fit(self, X, y) -> "KNeighborsRegressor":
+        X, y = check_X_y(X, y, y_numeric=True)
+        self._X, self._y = X, y
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "_X")
+        X = check_array(X, name="X")
+        idx, w = self._neighbors(X)
+        neigh_y = self._y[idx]
+        return np.sum(w * neigh_y, axis=1) / np.sum(w, axis=1)

@@ -1,0 +1,147 @@
+"""Feature preprocessing: scalers and one-hot encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+from repro.utils.validation import check_array, check_fitted
+
+__all__ = ["StandardScaler", "MinMaxScaler", "OneHotEncoder"]
+
+
+class StandardScaler(BaseEstimator):
+    """Standardize features to zero mean and unit variance.
+
+    Columns with zero variance are left centred but unscaled (divisor 1),
+    so ``transform`` never divides by zero.
+    """
+
+    def __init__(self):
+        self.mean_ = None
+        self.scale_ = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_array(X, name="X")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, ["mean_", "scale_"])
+        X = check_array(X, name="X")
+        if X.shape[1] != len(self.mean_):
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler fitted on {len(self.mean_)}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_fitted(self, ["mean_", "scale_"])
+        X = check_array(X, name="X")
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features into ``[feature_min, feature_max]`` (default [0, 1]).
+
+    Constant columns map to ``feature_min``.
+    """
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)):
+        lo, hi = feature_range
+        if not lo < hi:
+            raise ValueError(f"feature_range must be increasing, got {feature_range}")
+        self.feature_range = (float(lo), float(hi))
+        self.data_min_ = None
+        self.data_max_ = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = check_array(X, name="X")
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, ["data_min_", "data_max_"])
+        X = check_array(X, name="X")
+        span = self.data_max_ - self.data_min_
+        span = np.where(span > 0, span, 1.0)
+        lo, hi = self.feature_range
+        return lo + (X - self.data_min_) / span * (hi - lo)
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        check_fitted(self, ["data_min_", "data_max_"])
+        X = check_array(X, name="X")
+        span = self.data_max_ - self.data_min_
+        span = np.where(span > 0, span, 1.0)
+        lo, hi = self.feature_range
+        return self.data_min_ + (X - lo) / (hi - lo) * span
+
+
+class OneHotEncoder(BaseEstimator):
+    """One-hot encode integer/string category columns.
+
+    Parameters
+    ----------
+    handle_unknown:
+        ``'error'`` raises on unseen categories at transform time;
+        ``'ignore'`` encodes them as all-zeros.
+    """
+
+    def __init__(self, handle_unknown: str = "error"):
+        if handle_unknown not in ("error", "ignore"):
+            raise ValueError(f"handle_unknown must be 'error' or 'ignore'")
+        self.handle_unknown = handle_unknown
+        self.categories_ = None
+
+    def fit(self, X) -> "OneHotEncoder":
+        X = np.asarray(X)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        self.categories_ = [np.unique(X[:, j]) for j in range(X.shape[1])]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "categories_")
+        X = np.asarray(X)
+        if X.ndim != 2 or X.shape[1] != len(self.categories_):
+            raise ValueError(
+                f"X shape {X.shape} incompatible with {len(self.categories_)} "
+                "fitted columns"
+            )
+        blocks = []
+        for j, cats in enumerate(self.categories_):
+            col = X[:, j]
+            block = np.zeros((len(col), len(cats)))
+            cat_index = {c: i for i, c in enumerate(cats)}
+            for row, value in enumerate(col):
+                if value in cat_index:
+                    block[row, cat_index[value]] = 1.0
+                elif self.handle_unknown == "error":
+                    raise ValueError(
+                        f"unknown category {value!r} in column {j}"
+                    )
+            blocks.append(block)
+        return np.hstack(blocks)
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def feature_names(self, input_names=None) -> list[str]:
+        """Names of the encoded columns, e.g. ``x0=cat``."""
+        check_fitted(self, "categories_")
+        if input_names is None:
+            input_names = [f"x{j}" for j in range(len(self.categories_))]
+        return [
+            f"{name}={cat}"
+            for name, cats in zip(input_names, self.categories_)
+            for cat in cats
+        ]

@@ -1,0 +1,405 @@
+"""CART decision trees (classification and regression).
+
+The fitted tree is exposed as a flat-array :class:`TreeStructure`
+(children/feature/threshold/value/n_node_samples), which is the exact
+representation the path-dependent TreeSHAP algorithm in
+:mod:`repro.core.explainers.shap_tree` traverses.
+
+Split rule: a sample goes **left** when ``x[feature] <= threshold``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_array, check_fitted, check_X_y
+
+__all__ = ["TreeStructure", "DecisionTreeClassifier", "DecisionTreeRegressor"]
+
+LEAF = -1
+_MIN_GAIN = 1e-12
+
+
+@dataclass
+class TreeStructure:
+    """Flat-array binary tree.
+
+    Attributes
+    ----------
+    children_left, children_right:
+        Child node ids; ``-1`` marks a leaf.
+    feature:
+        Split feature index per node (``-1`` for leaves).
+    threshold:
+        Split threshold per node (NaN for leaves).
+    value:
+        ``(n_nodes, n_outputs)`` — class-probability vector for
+        classifiers, single-column mean for regressors.
+    n_node_samples:
+        Training samples routed through each node.
+    impurity:
+        Node impurity (gini or variance) used for feature importances.
+    """
+
+    children_left: np.ndarray = field(default_factory=lambda: np.empty(0, int))
+    children_right: np.ndarray = field(default_factory=lambda: np.empty(0, int))
+    feature: np.ndarray = field(default_factory=lambda: np.empty(0, int))
+    threshold: np.ndarray = field(default_factory=lambda: np.empty(0, float))
+    value: np.ndarray = field(default_factory=lambda: np.empty((0, 1)))
+    n_node_samples: np.ndarray = field(default_factory=lambda: np.empty(0, float))
+    impurity: np.ndarray = field(default_factory=lambda: np.empty(0, float))
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.children_left)
+
+    def is_leaf(self, node: int) -> bool:
+        return self.children_left[node] == LEAF
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf (root = depth 0)."""
+        depth = np.zeros(self.n_nodes, dtype=int)
+        out = 0
+        for node in range(self.n_nodes):
+            if not self.is_leaf(node):
+                for child in (self.children_left[node], self.children_right[node]):
+                    depth[child] = depth[node] + 1
+                    out = max(out, depth[child])
+        return out
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index reached by each row of ``X`` (vectorized descent)."""
+        nodes = np.zeros(len(X), dtype=np.int64)
+        active = np.full(len(X), not self.is_leaf(0))
+        while np.any(active):
+            idx = np.flatnonzero(active)
+            cur = nodes[idx]
+            feat = self.feature[cur]
+            go_left = X[idx, feat] <= self.threshold[cur]
+            nxt = np.where(
+                go_left, self.children_left[cur], self.children_right[cur]
+            )
+            nodes[idx] = nxt
+            leaf_now = self.children_left[nxt] == LEAF
+            active[idx[leaf_now]] = False
+        return nodes
+
+    def predict_value(self, X: np.ndarray) -> np.ndarray:
+        """Per-row node value (shape ``(n, n_outputs)``)."""
+        return self.value[self.apply(X)]
+
+    def decision_path(self, x: np.ndarray) -> list[int]:
+        """Node ids visited by a single sample ``x`` (root to leaf)."""
+        path = [0]
+        node = 0
+        while not self.is_leaf(node):
+            if x[self.feature[node]] <= self.threshold[node]:
+                node = self.children_left[node]
+            else:
+                node = self.children_right[node]
+            path.append(node)
+        return path
+
+
+# ----------------------------------------------------------------------
+# impurity helpers (operate on cumulative statistics for all split points)
+# ----------------------------------------------------------------------
+def _gini_from_counts(counts: np.ndarray) -> np.ndarray:
+    """Gini impurity for each row of class ``counts``."""
+    totals = counts.sum(axis=-1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        p = np.where(totals > 0, counts / totals, 0.0)
+    return 1.0 - np.sum(p * p, axis=-1)
+
+
+def _resolve_max_features(max_features, n_features: int) -> int:
+    if max_features is None:
+        return n_features
+    if max_features == "sqrt":
+        return max(1, int(np.sqrt(n_features)))
+    if max_features == "log2":
+        return max(1, int(np.log2(n_features))) if n_features > 1 else 1
+    if isinstance(max_features, float):
+        if not 0.0 < max_features <= 1.0:
+            raise ValueError(f"max_features fraction must be in (0, 1], got {max_features}")
+        return max(1, int(max_features * n_features))
+    if isinstance(max_features, (int, np.integer)):
+        if not 1 <= max_features <= n_features:
+            raise ValueError(
+                f"max_features must be in [1, {n_features}], got {max_features}"
+            )
+        return int(max_features)
+    raise ValueError(f"unsupported max_features: {max_features!r}")
+
+
+class _TreeBuilder:
+    """Depth-first CART builder shared by classifier and regressor."""
+
+    def __init__(
+        self,
+        *,
+        is_classifier: bool,
+        n_classes: int,
+        max_depth,
+        min_samples_split: int,
+        min_samples_leaf: int,
+        max_features,
+        rng: np.random.Generator,
+    ):
+        self.is_classifier = is_classifier
+        self.n_classes = n_classes
+        self.max_depth = np.inf if max_depth is None else max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng
+        self.nodes: list[dict] = []
+
+    # ------------------------------------------------------------------
+    def build(self, X: np.ndarray, y: np.ndarray) -> TreeStructure:
+        self._n_features = X.shape[1]
+        self._k = _resolve_max_features(self.max_features, self._n_features)
+        self._grow(X, y, np.arange(len(X)), depth=0)
+        return self._to_structure()
+
+    def _node_value(self, y_node: np.ndarray) -> np.ndarray:
+        if self.is_classifier:
+            counts = np.bincount(y_node.astype(int), minlength=self.n_classes)
+            return counts / counts.sum()
+        return np.array([y_node.mean()])
+
+    def _node_impurity(self, y_node: np.ndarray) -> float:
+        if self.is_classifier:
+            counts = np.bincount(y_node.astype(int), minlength=self.n_classes)
+            return float(_gini_from_counts(counts[None, :])[0])
+        return float(np.var(y_node))
+
+    def _grow(self, X, y, idx, depth) -> int:
+        y_node = y[idx]
+        node_id = len(self.nodes)
+        node = {
+            "left": LEAF,
+            "right": LEAF,
+            "feature": LEAF,
+            "threshold": np.nan,
+            "value": self._node_value(y_node),
+            "n": float(len(idx)),
+            "impurity": self._node_impurity(y_node),
+        }
+        self.nodes.append(node)
+        if (
+            depth >= self.max_depth
+            or len(idx) < self.min_samples_split
+            or node["impurity"] <= _MIN_GAIN
+        ):
+            return node_id
+        split = self._best_split(X, y, idx, node["impurity"])
+        if split is None:
+            return node_id
+        feature, threshold = split
+        mask = X[idx, feature] <= threshold
+        left_idx, right_idx = idx[mask], idx[~mask]
+        node["feature"] = feature
+        node["threshold"] = threshold
+        node["left"] = self._grow(X, y, left_idx, depth + 1)
+        node["right"] = self._grow(X, y, right_idx, depth + 1)
+        return node_id
+
+    # ------------------------------------------------------------------
+    def _best_split(self, X, y, idx, parent_impurity):
+        """Return ``(feature, threshold)`` of the impurity-minimizing
+        split, or ``None`` when no admissible split improves impurity."""
+        n = len(idx)
+        if self._k < self._n_features:
+            features = self.rng.choice(self._n_features, size=self._k, replace=False)
+        else:
+            features = np.arange(self._n_features)
+        best = None
+        best_score = np.inf
+        y_node = y[idx]
+        for j in features:
+            xj = X[idx, j]
+            order = np.argsort(xj, kind="stable")
+            xs = xj[order]
+            ys = y_node[order]
+            # admissible split positions: between i and i+1 where value changes
+            diff = xs[1:] != xs[:-1]
+            positions = np.flatnonzero(diff)  # split after index i
+            if len(positions) == 0:
+                continue
+            n_left = positions + 1
+            n_right = n - n_left
+            ok = (n_left >= self.min_samples_leaf) & (n_right >= self.min_samples_leaf)
+            positions = positions[ok]
+            if len(positions) == 0:
+                continue
+            n_left = n_left[ok]
+            n_right = n_right[ok]
+            if self.is_classifier:
+                onehot = np.zeros((n, self.n_classes))
+                onehot[np.arange(n), ys.astype(int)] = 1.0
+                cum = np.cumsum(onehot, axis=0)
+                left_counts = cum[positions]
+                right_counts = cum[-1] - left_counts
+                score = (
+                    n_left * _gini_from_counts(left_counts)
+                    + n_right * _gini_from_counts(right_counts)
+                ) / n
+            else:
+                cum_y = np.cumsum(ys)
+                cum_y2 = np.cumsum(ys * ys)
+                sum_l = cum_y[positions]
+                sum2_l = cum_y2[positions]
+                sum_r = cum_y[-1] - sum_l
+                sum2_r = cum_y2[-1] - sum2_l
+                var_l = sum2_l / n_left - (sum_l / n_left) ** 2
+                var_r = sum2_r / n_right - (sum_r / n_right) ** 2
+                score = (n_left * np.maximum(var_l, 0.0)
+                         + n_right * np.maximum(var_r, 0.0)) / n
+            pos_best = int(np.argmin(score))
+            if score[pos_best] < best_score - 0.0:
+                best_score = score[pos_best]
+                i = positions[pos_best]
+                threshold = (xs[i] + xs[i + 1]) / 2.0
+                # guard against midpoint rounding onto the right value
+                if threshold >= xs[i + 1]:
+                    threshold = xs[i]
+                best = (int(j), float(threshold))
+        if best is None or parent_impurity - best_score <= _MIN_GAIN:
+            return None
+        return best
+
+    # ------------------------------------------------------------------
+    def _to_structure(self) -> TreeStructure:
+        n = len(self.nodes)
+        n_outputs = len(self.nodes[0]["value"])
+        tree = TreeStructure(
+            children_left=np.array([nd["left"] for nd in self.nodes], dtype=np.int64),
+            children_right=np.array([nd["right"] for nd in self.nodes], dtype=np.int64),
+            feature=np.array([nd["feature"] for nd in self.nodes], dtype=np.int64),
+            threshold=np.array([nd["threshold"] for nd in self.nodes], dtype=float),
+            value=np.vstack([nd["value"] for nd in self.nodes]).reshape(n, n_outputs),
+            n_node_samples=np.array([nd["n"] for nd in self.nodes], dtype=float),
+            impurity=np.array([nd["impurity"] for nd in self.nodes], dtype=float),
+        )
+        return tree
+
+
+def _compute_feature_importances(tree: TreeStructure, n_features: int) -> np.ndarray:
+    """Impurity-decrease importances, normalized to sum to 1."""
+    importances = np.zeros(n_features)
+    total = tree.n_node_samples[0]
+    for node in range(tree.n_nodes):
+        if tree.is_leaf(node):
+            continue
+        left = tree.children_left[node]
+        right = tree.children_right[node]
+        decrease = (
+            tree.n_node_samples[node] * tree.impurity[node]
+            - tree.n_node_samples[left] * tree.impurity[left]
+            - tree.n_node_samples[right] * tree.impurity[right]
+        ) / total
+        importances[tree.feature[node]] += max(decrease, 0.0)
+    s = importances.sum()
+    return importances / s if s > 0 else importances
+
+
+class _BaseDecisionTree(BaseEstimator):
+    def __init__(
+        self,
+        max_depth=None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        random_state=None,
+    ):
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValueError(f"min_samples_split must be >= 2, got {min_samples_split}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.tree_: TreeStructure | None = None
+
+    def _fit_tree(self, X, y, *, is_classifier: bool, n_classes: int):
+        builder = _TreeBuilder(
+            is_classifier=is_classifier,
+            n_classes=n_classes,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            rng=check_random_state(self.random_state),
+        )
+        self.tree_ = builder.build(X, y)
+        self.n_features_in_ = X.shape[1]
+        self.feature_importances_ = _compute_feature_importances(
+            self.tree_, X.shape[1]
+        )
+
+    def apply(self, X) -> np.ndarray:
+        """Leaf id reached by each sample."""
+        check_fitted(self, "tree_")
+        X = check_array(X, name="X")
+        return self.tree_.apply(X)
+
+    def get_depth(self) -> int:
+        check_fitted(self, "tree_")
+        return self.tree_.max_depth
+
+    def get_n_leaves(self) -> int:
+        check_fitted(self, "tree_")
+        return int(np.sum(self.tree_.children_left == LEAF))
+
+
+class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
+    """CART classifier with gini impurity."""
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        X, y = check_X_y(X, y)
+        # single-class fits are allowed: ensemble bootstraps may miss a
+        # rare class, and the resulting stump predicts it with p=1
+        codes = self._encode_labels(y, allow_single_class=True)
+        self._fit_tree(X, codes, is_classifier=True, n_classes=len(self.classes_))
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities (training-class frequencies at the leaf)."""
+        check_fitted(self, "tree_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, tree fitted on {self.n_features_in_}"
+            )
+        return self.tree_.predict_value(X)
+
+    def predict(self, X) -> np.ndarray:
+        return self._decode_labels(np.argmax(self.predict_proba(X), axis=1))
+
+
+class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
+    """CART regressor with variance (MSE) impurity."""
+
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X, y = check_X_y(X, y, y_numeric=True)
+        self._fit_tree(X, y, is_classifier=False, n_classes=0)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_fitted(self, "tree_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, tree fitted on {self.n_features_in_}"
+            )
+        return self.tree_.predict_value(X)[:, 0]

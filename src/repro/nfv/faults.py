@@ -1,0 +1,207 @@
+"""Fault injection with ground-truth labels.
+
+Each :class:`FaultEvent` perturbs the simulator's state for a window of
+epochs.  Because we *know* what was injected where, every telemetry
+sample carries a ground-truth root cause — the label the root-cause
+localization experiment (E6) scores explainers against.
+
+Fault kinds and their physical effect in the simulator:
+
+``CPU_CONTENTION``
+    A noisy neighbour consumes cores on one server → every VNF on that
+    server loses capacity.
+``MEMORY_LEAK``
+    One VNF's resident memory grows linearly over the fault window; past
+    ~90% of its allocation the VNF pays a swap penalty (capacity drop).
+``CONFIG_ERROR``
+    One VNF's effective capacity is cut outright (e.g. a bad rule set
+    forcing slow-path processing).
+``TRAFFIC_SURGE``
+    The chain's offered load is multiplied (beyond natural flash
+    crowds).
+``LINK_DEGRADATION``
+    Propagation latency on the chain's paths is multiplied and a small
+    random loss is added (flaky cable / failing optics).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.rng import check_random_state
+
+__all__ = ["FaultKind", "FaultEvent", "FaultInjector", "NO_FAULT"]
+
+
+class FaultKind(str, enum.Enum):
+    """Enumeration of injectable fault types."""
+
+    CPU_CONTENTION = "cpu_contention"
+    MEMORY_LEAK = "memory_leak"
+    CONFIG_ERROR = "config_error"
+    TRAFFIC_SURGE = "traffic_surge"
+    LINK_DEGRADATION = "link_degradation"
+
+
+#: Root-cause label used for epochs without an injected fault.
+NO_FAULT = "none"
+
+#: Fault kinds that target a specific VNF (so a culprit index exists).
+VNF_LEVEL_FAULTS = frozenset(
+    {FaultKind.MEMORY_LEAK, FaultKind.CONFIG_ERROR}
+)
+#: Fault kinds that target a server (culprit = VNFs on that server).
+SERVER_LEVEL_FAULTS = frozenset({FaultKind.CPU_CONTENTION})
+#: Chain-wide faults with no single culprit VNF.
+CHAIN_LEVEL_FAULTS = frozenset(
+    {FaultKind.TRAFFIC_SURGE, FaultKind.LINK_DEGRADATION}
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault injection window.
+
+    Attributes
+    ----------
+    kind:
+        The :class:`FaultKind`.
+    start_epoch, duration:
+        Active during ``[start_epoch, start_epoch + duration)``.
+    severity:
+        Kind-specific magnitude in (0, 1]: fraction of server cores
+        stolen (contention), fraction of capacity lost (config error),
+        leak rate scale (memory leak), extra load fraction (surge),
+        latency-multiplier scale (link degradation).
+    vnf_index:
+        Index of the victim VNF within the monitored chain (for
+        VNF-level faults), else ``None``.
+    server_id:
+        Victim server (for server-level faults), else ``None``.
+    """
+
+    kind: FaultKind
+    start_epoch: int
+    duration: int
+    severity: float
+    vnf_index: int | None = None
+    server_id: str | None = None
+
+    def __post_init__(self):
+        if self.start_epoch < 0:
+            raise ValueError(f"start_epoch must be >= 0, got {self.start_epoch}")
+        if self.duration < 1:
+            raise ValueError(f"duration must be >= 1, got {self.duration}")
+        if not 0.0 < self.severity <= 1.0:
+            raise ValueError(f"severity must be in (0, 1], got {self.severity}")
+        if self.kind in VNF_LEVEL_FAULTS and self.vnf_index is None:
+            raise ValueError(f"{self.kind.value} requires vnf_index")
+        if self.kind in SERVER_LEVEL_FAULTS and self.server_id is None:
+            raise ValueError(f"{self.kind.value} requires server_id")
+
+    @property
+    def end_epoch(self) -> int:
+        return self.start_epoch + self.duration
+
+    def active_at(self, epoch: int) -> bool:
+        return self.start_epoch <= epoch < self.end_epoch
+
+    def overlaps(self, other: "FaultEvent") -> bool:
+        return self.start_epoch < other.end_epoch and other.start_epoch < self.end_epoch
+
+
+class FaultInjector:
+    """Generates random, non-overlapping fault schedules.
+
+    Parameters
+    ----------
+    kinds:
+        Fault kinds to draw from (default: all).
+    rate:
+        Probability that a new fault starts at a fault-free epoch.
+    duration_range:
+        Inclusive (min, max) epochs a fault lasts.
+    severity_range:
+        Inclusive (min, max) severity.
+    """
+
+    def __init__(
+        self,
+        kinds=None,
+        rate: float = 0.01,
+        duration_range: tuple[int, int] = (10, 40),
+        severity_range: tuple[float, float] = (0.3, 0.9),
+    ):
+        self.kinds = list(kinds) if kinds is not None else list(FaultKind)
+        if not self.kinds:
+            raise ValueError("kinds must not be empty")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        lo, hi = duration_range
+        if not 1 <= lo <= hi:
+            raise ValueError(f"bad duration_range {duration_range}")
+        slo, shi = severity_range
+        if not 0.0 < slo <= shi <= 1.0:
+            raise ValueError(f"bad severity_range {severity_range}")
+        self.rate = rate
+        self.duration_range = (int(lo), int(hi))
+        self.severity_range = (float(slo), float(shi))
+
+    def schedule(
+        self,
+        n_epochs: int,
+        chain,
+        random_state=None,
+    ) -> list[FaultEvent]:
+        """Draw a random schedule of non-overlapping faults for ``chain``.
+
+        The chain must already be placed (server ids resolved) so that
+        server-level faults can pick a victim server actually hosting
+        one of the chain's VNFs.
+        """
+        rng = check_random_state(random_state)
+        events: list[FaultEvent] = []
+        epoch = 0
+        while epoch < n_epochs:
+            if rng.random() < self.rate:
+                event = self._draw_event(epoch, n_epochs, chain, rng)
+                if event is not None:
+                    events.append(event)
+                    # leave a fault-free gap so labels are unambiguous
+                    epoch = event.end_epoch + 5
+                    continue
+            epoch += 1
+        return events
+
+    def _draw_event(self, epoch, n_epochs, chain, rng):
+        kind = self.kinds[rng.integers(0, len(self.kinds))]
+        lo, hi = self.duration_range
+        duration = int(rng.integers(lo, hi + 1))
+        if epoch + duration > n_epochs:
+            duration = n_epochs - epoch
+            if duration < 1:
+                return None
+        slo, shi = self.severity_range
+        severity = float(rng.uniform(slo, shi))
+        vnf_index = None
+        server_id = None
+        if kind in VNF_LEVEL_FAULTS:
+            vnf_index = int(rng.integers(0, chain.length))
+        elif kind in SERVER_LEVEL_FAULTS:
+            servers = sorted(
+                {inst.server_id for inst in chain.instances if inst.server_id}
+            )
+            if not servers:
+                raise ValueError(
+                    "chain must be placed before scheduling server faults"
+                )
+            server_id = servers[rng.integers(0, len(servers))]
+        return FaultEvent(
+            kind=kind,
+            start_epoch=epoch,
+            duration=duration,
+            severity=severity,
+            vnf_index=vnf_index,
+            server_id=server_id,
+        )

@@ -1,0 +1,95 @@
+"""VNF placement strategies with capacity accounting.
+
+All strategies implement ``place(chain, topology)``: assign every
+instance of the chain to a server with enough free CPU/memory, or raise
+:class:`PlacementError`.  They differ only in the order candidate
+servers are tried, which controls how much co-location (and therefore
+contention) a deployment experiences — first-fit packs aggressively,
+worst-fit spreads load.
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import check_random_state
+
+__all__ = [
+    "PlacementError",
+    "FirstFitPlacement",
+    "BestFitPlacement",
+    "WorstFitPlacement",
+    "RandomPlacement",
+]
+
+
+class PlacementError(RuntimeError):
+    """Raised when a chain cannot be placed on the topology."""
+
+
+class _BasePlacement:
+    """Shared greedy placement loop; subclasses order the candidates."""
+
+    def _ordered_servers(self, servers: list, instance):
+        raise NotImplementedError
+
+    def place(self, chain, topology) -> dict[str, str]:
+        """Place every instance of ``chain``; returns instance→server map.
+
+        Placement is transactional: if any instance cannot be placed the
+        already-placed ones are rolled back before raising.
+        """
+        placed = []
+        mapping = {}
+        try:
+            for instance in chain.instances:
+                servers = list(topology.servers.values())
+                chosen = None
+                for server in self._ordered_servers(servers, instance):
+                    if server.can_host(instance):
+                        chosen = server
+                        break
+                if chosen is None:
+                    raise PlacementError(
+                        f"no server can host {instance.instance_id} "
+                        f"({instance.vcpus} vcpu / {instance.mem_mb} MB)"
+                    )
+                chosen.place(instance)
+                placed.append((chosen, instance))
+                mapping[instance.instance_id] = chosen.server_id
+        except PlacementError:
+            for server, instance in placed:
+                server.remove(instance)
+            raise
+        return mapping
+
+
+class FirstFitPlacement(_BasePlacement):
+    """Try servers in declaration order; packs instances tightly."""
+
+    def _ordered_servers(self, servers, instance):
+        return servers
+
+
+class BestFitPlacement(_BasePlacement):
+    """Choose the feasible server with the least free CPU (tightest fit)."""
+
+    def _ordered_servers(self, servers, instance):
+        return sorted(servers, key=lambda s: s.free_vcpus)
+
+
+class WorstFitPlacement(_BasePlacement):
+    """Choose the server with the most free CPU (spreads load, least
+    contention)."""
+
+    def _ordered_servers(self, servers, instance):
+        return sorted(servers, key=lambda s: -s.free_vcpus)
+
+
+class RandomPlacement(_BasePlacement):
+    """Uniformly random feasible server (seeded)."""
+
+    def __init__(self, random_state=None):
+        self._rng = check_random_state(random_state)
+
+    def _ordered_servers(self, servers, instance):
+        order = self._rng.permutation(len(servers))
+        return [servers[i] for i in order]

@@ -1,0 +1,520 @@
+"""Epoch-based NFV performance simulator.
+
+For every epoch the simulator:
+
+1. draws offered load for the monitored chain and all background
+   chains (which share servers and create contention),
+2. applies any active faults (see :mod:`repro.nfv.faults`),
+3. accounts CPU demand per server; oversubscribed servers scale every
+   hosted VNF's capacity down proportionally,
+4. walks the monitored chain VNF by VNF: M/M/1/K loss, M/G/1 queueing
+   delay (scaled by a batch factor — software data planes process
+   packets in batches, which inflates queueing delay relative to the
+   per-packet ideal), memory pressure with a swap penalty,
+5. records noisy telemetry and the ground-truth labels (end-to-end
+   latency, loss, SLA violation, root cause, culprit VNF set).
+
+Units: kpps ≡ packets/ms, so queueing formulas fed kpps rates directly
+return milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nfv.faults import (
+    CHAIN_LEVEL_FAULTS,
+    FaultEvent,
+    FaultKind,
+    NO_FAULT,
+)
+from repro.nfv.placement import FirstFitPlacement, WorstFitPlacement
+from repro.nfv.queueing import mg1_waiting_time, mm1k_loss_probability
+from repro.nfv.sfc import SLA, ServiceFunctionChain
+from repro.nfv.telemetry import TelemetryCollector
+from repro.nfv.topology import NfviTopology
+from repro.nfv.traffic import TrafficModel
+from repro.nfv.vnf import VNFInstance
+from repro.utils.rng import check_random_state, spawn_rngs
+from repro.utils.tabular import FeatureMatrix
+
+__all__ = ["Testbed", "Simulator", "SimulationResult", "build_testbed"]
+
+#: Memory utilization above which the swap penalty kicks in.
+SWAP_THRESHOLD = 0.9
+#: Floor on the capacity multiplier under heavy swapping.
+SWAP_FLOOR = 0.25
+#: Leak growth per epoch at severity 1.0, as a fraction of allocation.
+LEAK_RATE_PER_EPOCH = 0.04
+
+
+@dataclass
+class Testbed:
+    """A placed deployment the simulator can run.
+
+    Attributes
+    ----------
+    topology:
+        The NFVI with all chains already placed.
+    chain:
+        The monitored chain (features/labels are recorded for it).
+    background_chains:
+        Chains that share servers with the monitored chain and create
+        contention, with their own traffic models.
+    traffic:
+        Traffic model of the monitored chain.
+    background_traffic:
+        One traffic model per background chain.
+    """
+
+    topology: NfviTopology
+    chain: ServiceFunctionChain
+    traffic: TrafficModel
+    background_chains: list[ServiceFunctionChain] = field(default_factory=list)
+    background_traffic: list[TrafficModel] = field(default_factory=list)
+
+    def __post_init__(self):
+        if len(self.background_chains) != len(self.background_traffic):
+            raise ValueError(
+                "background_chains and background_traffic must align"
+            )
+        for inst in self.chain.instances:
+            if inst.server_id is None:
+                raise ValueError(
+                    f"instance {inst.instance_id} is not placed; "
+                    "run placement before building the testbed"
+                )
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced.
+
+    Attributes
+    ----------
+    features:
+        Noisy telemetry, one row per epoch (named columns).
+    latency_ms, loss_rate:
+        Ground-truth end-to-end metrics of the monitored chain.
+    sla_violation:
+        Binary labels (1 = violated).
+    root_cause:
+        Per-epoch string label: a :class:`FaultKind` value or ``"none"``.
+    culprit_vnfs:
+        Per-epoch tuple of VNF indices directly affected by the active
+        fault (empty when no fault, or for chain-level faults).
+    events:
+        The injected fault schedule.
+    chain:
+        The monitored chain (for resolving VNF indices in reports).
+    """
+
+    features: FeatureMatrix
+    latency_ms: np.ndarray
+    loss_rate: np.ndarray
+    sla_violation: np.ndarray
+    root_cause: np.ndarray
+    culprit_vnfs: list[tuple[int, ...]]
+    events: list[FaultEvent]
+    chain: ServiceFunctionChain | None = None
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.latency_ms)
+
+    @property
+    def violation_rate(self) -> float:
+        return float(np.mean(self.sla_violation))
+
+    def summary(self) -> str:
+        """One-paragraph run summary for logs and examples."""
+        causes, counts = np.unique(self.root_cause, return_counts=True)
+        cause_txt = ", ".join(f"{c}: {n}" for c, n in zip(causes, counts))
+        return (
+            f"{self.n_epochs} epochs | violation rate "
+            f"{self.violation_rate:.1%} | median latency "
+            f"{np.median(self.latency_ms):.2f} ms | root causes: {cause_txt}"
+        )
+
+
+class _VNFState:
+    """Mutable per-instance fault state (leak level, config factor)."""
+
+    def __init__(self, instance: VNFInstance):
+        self.instance = instance
+        self.leak_mb = 0.0
+        self.config_factor = 1.0  # multiplicative capacity factor
+
+
+class Simulator:
+    """Runs a :class:`Testbed` for a number of epochs.
+
+    Parameters
+    ----------
+    testbed:
+        The placed deployment to simulate.
+    batch_factor:
+        Multiplier on queueing delay representing batched packet
+        processing in software data planes (DPDK-style polling).
+    buffer_pkts:
+        Per-VNF queue size for the M/M/1/K loss model.
+    measurement_noise:
+        Relative telemetry noise (see
+        :class:`~repro.nfv.telemetry.TelemetryCollector`).
+    service_scv:
+        Squared coefficient of variation of VNF service times
+        (1.0 = exponential/M/M/1-like, 0.0 = deterministic/M/D/1).
+    """
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        *,
+        batch_factor: float = 32.0,
+        buffer_pkts: int = 64,
+        measurement_noise: float = 0.02,
+        service_scv: float = 1.0,
+        random_state=None,
+    ):
+        if batch_factor <= 0:
+            raise ValueError(f"batch_factor must be positive, got {batch_factor}")
+        if buffer_pkts < 1:
+            raise ValueError(f"buffer_pkts must be >= 1, got {buffer_pkts}")
+        if service_scv < 0:
+            raise ValueError(f"service_scv must be >= 0, got {service_scv}")
+        self.testbed = testbed
+        self.batch_factor = batch_factor
+        self.buffer_pkts = buffer_pkts
+        self.measurement_noise = measurement_noise
+        self.service_scv = service_scv
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        n_epochs: int,
+        *,
+        fault_events: list[FaultEvent] | None = None,
+        fault_injector=None,
+    ) -> SimulationResult:
+        """Simulate ``n_epochs`` epochs and return the labelled telemetry.
+
+        Provide either an explicit ``fault_events`` schedule, a
+        ``fault_injector`` (a schedule is drawn), or neither (fault-free
+        run — violations then stem only from natural overload).
+        """
+        if n_epochs < 1:
+            raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+        if fault_events is not None and fault_injector is not None:
+            raise ValueError("pass fault_events or fault_injector, not both")
+        rng = check_random_state(self.random_state)
+        (traffic_rng, bg_rng, telemetry_rng, sched_rng) = spawn_rngs(rng, 4)
+
+        tb = self.testbed
+        if fault_injector is not None:
+            fault_events = fault_injector.schedule(n_epochs, tb.chain, sched_rng)
+        events = list(fault_events) if fault_events else []
+
+        trace = tb.traffic.generate(n_epochs, traffic_rng)
+        bg_rngs = spawn_rngs(bg_rng, len(tb.background_chains))
+        bg_traces = [
+            model.generate(n_epochs, r)
+            for model, r in zip(tb.background_traffic, bg_rngs)
+        ]
+
+        collector = TelemetryCollector(
+            tb.chain, noise_sigma=self.measurement_noise, random_state=telemetry_rng
+        )
+        states = [_VNFState(inst) for inst in tb.chain.instances]
+        base_propagation_ms = tb.chain.propagation_latency_us(tb.topology) / 1000.0
+
+        latency = np.zeros(n_epochs)
+        loss = np.zeros(n_epochs)
+        violation = np.zeros(n_epochs, dtype=np.int64)
+        root_cause: list[str] = []
+        culprits: list[tuple[int, ...]] = []
+
+        for t in range(n_epochs):
+            active = [e for e in events if e.active_at(t)]
+            epoch_out = self._run_epoch(
+                t, trace, bg_traces, states, active, base_propagation_ms, collector
+            )
+            latency[t] = epoch_out["latency_ms"]
+            loss[t] = epoch_out["loss_rate"]
+            violation[t] = int(
+                tb.chain.sla.is_violated(epoch_out["latency_ms"], epoch_out["loss_rate"])
+            )
+            cause, culprit = self._ground_truth(active, tb)
+            root_cause.append(cause)
+            culprits.append(culprit)
+
+        return SimulationResult(
+            features=collector.to_feature_matrix(),
+            latency_ms=latency,
+            loss_rate=loss,
+            sla_violation=violation,
+            root_cause=np.asarray(root_cause, dtype=object),
+            culprit_vnfs=culprits,
+            events=events,
+            chain=tb.chain,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_epoch(
+        self, t, trace, bg_traces, states, active, base_propagation_ms, collector
+    ) -> dict:
+        tb = self.testbed
+        offered = float(trace.offered_kpps[t])
+        kflows = float(trace.active_kflows[t])
+        burstiness = float(trace.burstiness[t])
+
+        # ---- apply chain-level faults -------------------------------
+        propagation_ms = base_propagation_ms
+        extra_chain_loss = 0.0
+        for event in active:
+            if event.kind is FaultKind.TRAFFIC_SURGE:
+                offered *= 1.0 + 2.0 * event.severity
+                kflows *= 1.0 + 1.5 * event.severity
+            elif event.kind is FaultKind.LINK_DEGRADATION:
+                propagation_ms *= 1.0 + 3.0 * event.severity
+                extra_chain_loss += 0.02 * event.severity
+
+        # ---- per-VNF fault state updates ----------------------------
+        for i, state in enumerate(states):
+            state.config_factor = 1.0
+            leak_active = False
+            for event in active:
+                if event.vnf_index != i:
+                    continue
+                if event.kind is FaultKind.CONFIG_ERROR:
+                    state.config_factor = min(
+                        state.config_factor, 1.0 - 0.7 * event.severity
+                    )
+                elif event.kind is FaultKind.MEMORY_LEAK:
+                    leak_active = True
+                    state.leak_mb += (
+                        LEAK_RATE_PER_EPOCH
+                        * event.severity
+                        * state.instance.mem_mb
+                    )
+            if not leak_active and state.leak_mb > 0.0:
+                # leaked memory is reclaimed once the buggy VNF restarts
+                state.leak_mb = 0.0
+
+        # ---- CPU demand accounting per server -----------------------
+        demand = {sid: 0.0 for sid in tb.topology.servers}
+        for state in states:
+            demand[state.instance.server_id] += self._cores_needed(
+                state.instance, offered, kflows
+            )
+        for chain, bg_trace in zip(tb.background_chains, bg_traces):
+            bg_offered = float(bg_trace.offered_kpps[t])
+            bg_kflows = float(bg_trace.active_kflows[t])
+            for inst in chain.instances:
+                demand[inst.server_id] += self._cores_needed(
+                    inst, bg_offered, bg_kflows
+                )
+        for event in active:
+            if event.kind is FaultKind.CPU_CONTENTION:
+                server = tb.topology.server(event.server_id)
+                demand[event.server_id] += event.severity * server.cpu_cores
+
+        contention = {}
+        for sid, server in tb.topology.servers.items():
+            contention[sid] = (
+                min(1.0, server.cpu_cores / demand[sid]) if demand[sid] > 0 else 1.0
+            )
+        pressure = {
+            sid: demand[sid] / tb.topology.servers[sid].cpu_cores
+            for sid in demand
+        }
+
+        # ---- walk the chain -----------------------------------------
+        arrival = offered
+        total_queue_ms = 0.0
+        total_proc_ms = 0.0
+        vnf_metrics = []
+        for state in states:
+            inst = state.instance
+            server = tb.topology.server(inst.server_id)
+            capacity = inst.nominal_capacity_kpps(server.cpu_speed)
+            capacity *= contention[inst.server_id]
+            capacity *= state.config_factor
+
+            mem_used = inst.profile.memory_mb(kflows) + state.leak_mb
+            mem_util = min(mem_used / inst.mem_mb, 1.05)
+            if mem_util > SWAP_THRESHOLD:
+                swap_penalty = max(
+                    SWAP_FLOOR, 1.0 - 3.0 * (mem_util - SWAP_THRESHOLD)
+                )
+                capacity *= swap_penalty
+
+            capacity = max(capacity, 1e-6)
+            p_loss = mm1k_loss_probability(arrival, capacity, self.buffer_pkts)
+            served = arrival * (1.0 - p_loss)
+            utilization = min(arrival / capacity, 1.5)
+            queue_ms = (
+                mg1_waiting_time(served, capacity, scv=self.service_scv * burstiness**2)
+                * self.batch_factor
+            )
+            proc_ms = inst.profile.base_latency_us / 1000.0
+
+            total_queue_ms += queue_ms
+            total_proc_ms += proc_ms
+            vnf_metrics.append(
+                {
+                    # capacity already includes contention and fault
+                    # penalties, so utilization saturates past 1.0 when
+                    # the VNF is starved or overloaded
+                    "cpu_util": min(utilization, 1.2),
+                    "mem_util": mem_util,
+                    "queue_ms": queue_ms,
+                    "drop_rate": p_loss,
+                    "host_pressure": pressure[inst.server_id],
+                }
+            )
+            arrival = served
+
+        delivered = arrival * (1.0 - extra_chain_loss)
+        loss_rate = 1.0 - delivered / offered if offered > 0 else 0.0
+        latency_ms = total_queue_ms + total_proc_ms + propagation_ms
+
+        collector.record_epoch(
+            vnf_metrics=vnf_metrics,
+            chain_metrics={
+                "offered_kpps": offered,
+                "active_kflows": kflows,
+                "burstiness": burstiness,
+                "propagation_ms": propagation_ms,
+            },
+            epoch=t,
+            period_epochs=tb.traffic.period_epochs,
+        )
+        return {"latency_ms": latency_ms, "loss_rate": loss_rate}
+
+    @staticmethod
+    def _cores_needed(inst: VNFInstance, offered_kpps: float, kflows: float) -> float:
+        """Cores an instance needs to serve ``offered_kpps`` (uncapped)."""
+        per_core = inst.profile.capacity_kpps_per_vcpu
+        return min(
+            offered_kpps / per_core + inst.profile.cpu_per_kflow * kflows,
+            inst.vcpus,  # an instance cannot use more cores than allocated
+        )
+
+    def _ground_truth(self, active, tb) -> tuple[str, tuple[int, ...]]:
+        """Root-cause label and culprit VNF set for the current epoch.
+
+        With multiple simultaneous faults (possible only with a manual
+        schedule) the earliest-starting one is labelled.
+        """
+        if not active:
+            return NO_FAULT, ()
+        event = min(active, key=lambda e: e.start_epoch)
+        if event.kind in CHAIN_LEVEL_FAULTS:
+            return event.kind.value, ()
+        if event.vnf_index is not None:
+            return event.kind.value, (event.vnf_index,)
+        affected = tuple(
+            i
+            for i, inst in enumerate(tb.chain.instances)
+            if inst.server_id == event.server_id
+        )
+        return event.kind.value, affected
+
+
+# ----------------------------------------------------------------------
+# canonical testbed
+# ----------------------------------------------------------------------
+#: Default monitored chain: a realistic security-service chain.
+DEFAULT_CHAIN_TYPES = ("firewall", "nat", "ids", "lb", "dpi")
+
+#: Per-type default allocations (vcpus, mem_mb) sized so the chain runs
+#: at 45–80% utilization at the default base load — close enough to the
+#: knee that surges and faults push it over.
+DEFAULT_ALLOCATIONS = {
+    "firewall": (1.0, 1024.0),
+    "nat": (1.0, 1024.0),
+    "ids": (2.0, 2048.0),
+    "lb": (1.0, 512.0),
+    "dpi": (3.0, 3072.0),
+    "wanopt": (2.0, 4096.0),
+    "transcoder": (4.0, 2048.0),
+    "cache": (1.0, 8192.0),
+}
+
+
+def build_testbed(
+    *,
+    chain_types=DEFAULT_CHAIN_TYPES,
+    base_kpps: float = 400.0,
+    sla: SLA | None = None,
+    n_background: int = 2,
+    topology: NfviTopology | None = None,
+    random_state=None,
+) -> Testbed:
+    """Build the canonical placed testbed used across examples/benches.
+
+    A leaf-spine fabric hosts one monitored security chain plus
+    ``n_background`` smaller chains placed first-fit, so several VNFs
+    share servers and contention is real.
+    """
+    rng = check_random_state(random_state)
+    if topology is None:
+        topology = NfviTopology.leaf_spine(
+            n_spine=2, n_leaf=2, servers_per_leaf=2, cpu_cores=8.0, mem_mb=16384.0
+        )
+    sla = sla or SLA(max_latency_ms=3.0, max_loss_rate=0.01)
+
+    def make_chain(chain_id: str, types, scale: float = 1.0):
+        instances = []
+        for i, vnf_type in enumerate(types):
+            vcpus, mem = DEFAULT_ALLOCATIONS[vnf_type]
+            instances.append(
+                VNFInstance(
+                    vnf_type,
+                    vcpus=vcpus * scale,
+                    mem_mb=mem * scale,
+                    instance_id=f"{chain_id}-{i}-{vnf_type}",
+                )
+            )
+        return ServiceFunctionChain(chain_id, instances, sla)
+
+    # worst-fit spreads the monitored chain across servers so that
+    # inter-VNF propagation (and link-degradation faults) matter; the
+    # background chains then pack first-fit onto the busiest servers,
+    # which creates genuine co-location with the monitored VNFs.
+    chain = make_chain("monitored", chain_types)
+    WorstFitPlacement().place(chain, topology)
+    placement = FirstFitPlacement()
+
+    background_chains = []
+    background_traffic = []
+    bg_type_sets = [
+        ("firewall", "lb"),
+        ("nat", "ids"),
+        ("firewall", "nat", "lb"),
+        ("ids", "lb"),
+    ]
+    for b in range(n_background):
+        bg_chain = make_chain(f"bg{b}", bg_type_sets[b % len(bg_type_sets)], scale=0.5)
+        placement.place(bg_chain, topology)
+        background_chains.append(bg_chain)
+        background_traffic.append(
+            TrafficModel(
+                base_kpps=base_kpps * 0.5,
+                diurnal_amplitude=0.3,
+                phase=float(rng.uniform(0, 2 * np.pi)),
+                flash_crowd_rate=0.002,
+            )
+        )
+
+    traffic = TrafficModel(base_kpps=base_kpps)
+    return Testbed(
+        topology=topology,
+        chain=chain,
+        traffic=traffic,
+        background_chains=background_chains,
+        background_traffic=background_traffic,
+    )

@@ -1,0 +1,143 @@
+"""Telemetry schema and collection.
+
+Defines the named feature vector the monitoring plane exports each
+epoch, and a collector that applies measurement noise (telemetry is
+never perfectly clean) before assembling the final
+:class:`~repro.utils.tabular.FeatureMatrix`.
+
+Feature layout for a chain of K VNFs (names carry the VNF position and
+type so explanations are readable by an operator):
+
+* per VNF ``i`` of type ``T``:
+  ``vnf{i}_{T}_cpu_util``, ``vnf{i}_{T}_mem_util``,
+  ``vnf{i}_{T}_queue_ms``, ``vnf{i}_{T}_drop_rate``,
+  ``vnf{i}_{T}_host_pressure`` (CPU demand / cores on its server);
+* chain level: ``offered_kpps``, ``active_kflows``, ``burstiness``,
+  ``propagation_ms``;
+* time of day: ``tod_sin``, ``tod_cos``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+from repro.utils.tabular import FeatureMatrix
+
+__all__ = [
+    "PER_VNF_METRICS",
+    "CHAIN_METRICS",
+    "TIME_METRICS",
+    "feature_names_for_chain",
+    "vnf_of_feature",
+    "TelemetryCollector",
+]
+
+#: Per-VNF telemetry metrics, in column order.
+PER_VNF_METRICS = (
+    "cpu_util",
+    "mem_util",
+    "queue_ms",
+    "drop_rate",
+    "host_pressure",
+)
+
+#: Chain-level metrics, in column order.
+CHAIN_METRICS = ("offered_kpps", "active_kflows", "burstiness", "propagation_ms")
+
+#: Time-of-day encoding.
+TIME_METRICS = ("tod_sin", "tod_cos")
+
+
+def feature_names_for_chain(chain) -> list[str]:
+    """Full, ordered feature-name list for one monitored chain."""
+    names = []
+    for i, inst in enumerate(chain.instances):
+        for metric in PER_VNF_METRICS:
+            names.append(f"vnf{i}_{inst.vnf_type}_{metric}")
+    names.extend(CHAIN_METRICS)
+    names.extend(TIME_METRICS)
+    return names
+
+
+def vnf_of_feature(name: str) -> int | None:
+    """VNF index encoded in a feature name, or ``None`` for chain-level
+    features.  Inverse of the naming convention above."""
+    if not name.startswith("vnf"):
+        return None
+    head = name.split("_", 1)[0]
+    try:
+        return int(head[3:])
+    except ValueError:
+        return None
+
+
+class TelemetryCollector:
+    """Accumulates per-epoch measurements and renders a feature matrix.
+
+    Parameters
+    ----------
+    chain:
+        The monitored (already-placed) chain; fixes the schema.
+    noise_sigma:
+        Relative gaussian measurement noise applied to utilization and
+        delay readings (0 disables noise).
+    """
+
+    def __init__(self, chain, noise_sigma: float = 0.02, random_state=None):
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be >= 0, got {noise_sigma}")
+        self.chain = chain
+        self.noise_sigma = noise_sigma
+        self._rng = check_random_state(random_state)
+        self.feature_names = feature_names_for_chain(chain)
+        self._rows: list[list[float]] = []
+
+    def record_epoch(
+        self,
+        *,
+        vnf_metrics: list[dict],
+        chain_metrics: dict,
+        epoch: int,
+        period_epochs: int,
+    ) -> None:
+        """Append one epoch of measurements.
+
+        ``vnf_metrics`` is one dict per VNF with keys
+        :data:`PER_VNF_METRICS`; ``chain_metrics`` has keys
+        :data:`CHAIN_METRICS`.
+        """
+        if len(vnf_metrics) != self.chain.length:
+            raise ValueError(
+                f"expected {self.chain.length} VNF metric dicts, "
+                f"got {len(vnf_metrics)}"
+            )
+        row: list[float] = []
+        for metrics in vnf_metrics:
+            for key in PER_VNF_METRICS:
+                row.append(self._noisy(key, metrics[key]))
+        for key in CHAIN_METRICS:
+            row.append(self._noisy(key, chain_metrics[key]))
+        angle = 2.0 * np.pi * (epoch % period_epochs) / period_epochs
+        row.append(np.sin(angle))
+        row.append(np.cos(angle))
+        self._rows.append(row)
+
+    def _noisy(self, key: str, value: float) -> float:
+        """Apply relative measurement noise; rates stay in [0, 1]."""
+        if self.noise_sigma == 0.0:
+            return float(value)
+        noisy = value * (1.0 + self._rng.normal(0.0, self.noise_sigma))
+        if key in ("cpu_util", "mem_util", "drop_rate"):
+            return float(np.clip(noisy, 0.0, 1.2 if key != "drop_rate" else 1.0))
+        return float(max(noisy, 0.0))
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self._rows)
+
+    def to_feature_matrix(self) -> FeatureMatrix:
+        """Render all recorded epochs as a named feature matrix."""
+        if not self._rows:
+            raise ValueError("no epochs recorded")
+        return FeatureMatrix(np.asarray(self._rows), self.feature_names)

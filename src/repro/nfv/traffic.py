@@ -1,0 +1,178 @@
+"""Traffic generation for service chains.
+
+Produces per-epoch offered load (kpps), active flow counts (kflows) and
+a burstiness index.  The model composes:
+
+* a diurnal sinusoid (ISP-style day/night swing),
+* multiplicative lognormal noise (short-term variability),
+* Poisson-arriving flash crowds with geometric durations and Pareto
+  magnitudes (heavy-tailed surges),
+* flow counts coupled to load through a mean flow size with its own
+  noise (so flow-table pressure and packet rate are correlated but not
+  identical — important for telling memory faults from overload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+
+__all__ = ["TrafficModel", "TrafficTrace"]
+
+
+@dataclass
+class TrafficTrace:
+    """Per-epoch traffic arrays produced by :class:`TrafficModel`."""
+
+    offered_kpps: np.ndarray
+    active_kflows: np.ndarray
+    burstiness: np.ndarray
+
+    def __post_init__(self):
+        lengths = {
+            len(self.offered_kpps),
+            len(self.active_kflows),
+            len(self.burstiness),
+        }
+        if len(lengths) != 1:
+            raise ValueError("trace arrays must have equal length")
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.offered_kpps)
+
+    def scaled(self, factor: float) -> "TrafficTrace":
+        """Trace with offered load (and flows) scaled by ``factor``."""
+        return TrafficTrace(
+            offered_kpps=self.offered_kpps * factor,
+            active_kflows=self.active_kflows * factor,
+            burstiness=self.burstiness.copy(),
+        )
+
+
+class TrafficModel:
+    """Stochastic diurnal traffic with flash crowds.
+
+    Parameters
+    ----------
+    base_kpps:
+        Mean offered load.
+    diurnal_amplitude:
+        Relative day/night swing in [0, 1); 0 disables the sinusoid.
+    period_epochs:
+        Epochs per diurnal cycle (e.g. 1440 one-minute epochs per day).
+    noise_sigma:
+        Sigma of the multiplicative lognormal noise.
+    flash_crowd_rate:
+        Probability a flash crowd *starts* at any epoch.
+    flash_magnitude:
+        Mean multiplier of a flash crowd (Pareto-distributed, >= 1).
+    mean_flow_size_pkts:
+        Average packets per flow; links flow count to packet rate.
+    """
+
+    def __init__(
+        self,
+        base_kpps: float = 400.0,
+        diurnal_amplitude: float = 0.35,
+        period_epochs: int = 288,
+        noise_sigma: float = 0.08,
+        flash_crowd_rate: float = 0.004,
+        flash_magnitude: float = 1.8,
+        flash_duration_epochs: int = 12,
+        mean_flow_size_pkts: float = 50.0,
+        phase: float = 0.0,
+    ):
+        if base_kpps <= 0:
+            raise ValueError(f"base_kpps must be positive, got {base_kpps}")
+        if not 0.0 <= diurnal_amplitude < 1.0:
+            raise ValueError(
+                f"diurnal_amplitude must be in [0, 1), got {diurnal_amplitude}"
+            )
+        if period_epochs < 1:
+            raise ValueError(f"period_epochs must be >= 1, got {period_epochs}")
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be >= 0, got {noise_sigma}")
+        if not 0.0 <= flash_crowd_rate <= 1.0:
+            raise ValueError(
+                f"flash_crowd_rate must be in [0, 1], got {flash_crowd_rate}"
+            )
+        if flash_magnitude < 1.0:
+            raise ValueError(
+                f"flash_magnitude must be >= 1, got {flash_magnitude}"
+            )
+        if flash_duration_epochs < 1:
+            raise ValueError(
+                f"flash_duration_epochs must be >= 1, got {flash_duration_epochs}"
+            )
+        if mean_flow_size_pkts <= 0:
+            raise ValueError(
+                f"mean_flow_size_pkts must be positive, got {mean_flow_size_pkts}"
+            )
+        self.base_kpps = base_kpps
+        self.diurnal_amplitude = diurnal_amplitude
+        self.period_epochs = period_epochs
+        self.noise_sigma = noise_sigma
+        self.flash_crowd_rate = flash_crowd_rate
+        self.flash_magnitude = flash_magnitude
+        self.flash_duration_epochs = flash_duration_epochs
+        self.mean_flow_size_pkts = mean_flow_size_pkts
+        self.phase = phase
+
+    # ------------------------------------------------------------------
+    def generate(self, n_epochs: int, random_state=None) -> TrafficTrace:
+        """Generate a :class:`TrafficTrace` of ``n_epochs`` epochs."""
+        if n_epochs < 1:
+            raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+        rng = check_random_state(random_state)
+        t = np.arange(n_epochs)
+        diurnal = 1.0 + self.diurnal_amplitude * np.sin(
+            2.0 * np.pi * t / self.period_epochs + self.phase
+        )
+        noise = rng.lognormal(
+            mean=-0.5 * self.noise_sigma**2, sigma=self.noise_sigma, size=n_epochs
+        )
+        surge = self._flash_crowds(n_epochs, rng)
+        offered = self.base_kpps * diurnal * noise * surge
+        # burstiness: 1.0 nominal, elevated during flash crowds + noise
+        burstiness = np.clip(
+            1.0 + 0.5 * (surge - 1.0) + rng.normal(0.0, 0.05, size=n_epochs),
+            0.5,
+            None,
+        )
+        # flows ~ packet rate / flow size; flash crowds bring many small
+        # flows, so flow count grows super-linearly during surges
+        flow_noise = rng.lognormal(mean=0.0, sigma=0.1, size=n_epochs)
+        active_kflows = (
+            offered
+            / self.mean_flow_size_pkts
+            * np.where(surge > 1.0, surge**0.5, 1.0)
+            * flow_noise
+        )
+        return TrafficTrace(
+            offered_kpps=offered,
+            active_kflows=active_kflows,
+            burstiness=burstiness,
+        )
+
+    def _flash_crowds(self, n_epochs: int, rng) -> np.ndarray:
+        """Multiplicative surge series (1.0 = no surge)."""
+        surge = np.ones(n_epochs)
+        starts = np.flatnonzero(rng.random(n_epochs) < self.flash_crowd_rate)
+        for start in starts:
+            duration = 1 + rng.geometric(1.0 / self.flash_duration_epochs)
+            # Pareto with mean flash_magnitude: mean = x_m*a/(a-1); fix a=2.5
+            a = 2.5
+            x_m = self.flash_magnitude * (a - 1.0) / a
+            magnitude = max(1.0, x_m * (1.0 + rng.pareto(a)))
+            end = min(start + duration, n_epochs)
+            # ramp up then decay within the crowd window
+            window = np.arange(end - start)
+            shape = np.exp(-window / max(duration / 2.0, 1.0))
+            surge[start:end] = np.maximum(
+                surge[start:end], 1.0 + (magnitude - 1.0) * shape
+            )
+        return surge

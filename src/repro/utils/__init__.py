@@ -1,0 +1,24 @@
+"""Shared utilities: seeded RNG helpers, array validation, tabular data.
+
+These helpers are intentionally small and dependency-free (numpy only) so
+that every other subpackage can rely on them without import cycles.
+"""
+
+from repro.utils.rng import check_random_state, spawn_rngs
+from repro.utils.tabular import FeatureMatrix
+from repro.utils.validation import (
+    check_array,
+    check_consistent_length,
+    check_fitted,
+    check_X_y,
+)
+
+__all__ = [
+    "FeatureMatrix",
+    "check_array",
+    "check_consistent_length",
+    "check_fitted",
+    "check_random_state",
+    "check_X_y",
+    "spawn_rngs",
+]

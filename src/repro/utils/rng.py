@@ -1,0 +1,61 @@
+"""Random-number-generator plumbing.
+
+All stochastic components in this library accept a ``random_state``
+argument and normalize it through :func:`check_random_state`, so that
+every experiment is reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_random_state", "spawn_rngs"]
+
+
+def check_random_state(random_state=None) -> np.random.Generator:
+    """Normalize ``random_state`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` (fresh nondeterministic generator), an ``int`` seed, an
+        existing :class:`numpy.random.Generator` (returned unchanged), or
+        a :class:`numpy.random.SeedSequence`.
+
+    Returns
+    -------
+    numpy.random.Generator
+
+    Raises
+    ------
+    TypeError
+        If ``random_state`` is of an unsupported type.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        if random_state < 0:
+            raise ValueError(f"seed must be non-negative, got {random_state}")
+        return np.random.default_rng(int(random_state))
+    if isinstance(random_state, np.random.SeedSequence):
+        return np.random.default_rng(random_state)
+    raise TypeError(
+        "random_state must be None, an int, a numpy Generator or a "
+        f"SeedSequence, got {type(random_state).__name__}"
+    )
+
+
+def spawn_rngs(random_state, n: int) -> list[np.random.Generator]:
+    """Create ``n`` statistically independent child generators.
+
+    Useful for giving each member of an ensemble (trees in a forest,
+    repetitions of a permutation test) its own stream while remaining
+    reproducible from one seed.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = check_random_state(random_state)
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

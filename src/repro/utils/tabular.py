@@ -1,0 +1,102 @@
+"""A minimal named-column feature matrix.
+
+The NFV telemetry pipeline produces feature vectors whose *names* carry
+domain meaning (``vnf2_ids_cpu_util``), and the explainers must report
+attributions against those names.  ``FeatureMatrix`` bundles a float
+matrix with its column names without pulling in a dataframe dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["FeatureMatrix"]
+
+
+class FeatureMatrix:
+    """A 2-D float array with named columns.
+
+    Parameters
+    ----------
+    values:
+        Array of shape ``(n_samples, n_features)``.
+    feature_names:
+        One name per column; must be unique.
+    """
+
+    def __init__(self, values, feature_names: Sequence[str]):
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError(f"values must be 2-D, got shape {values.shape}")
+        names = list(feature_names)
+        if len(names) != values.shape[1]:
+            raise ValueError(
+                f"{len(names)} feature names for {values.shape[1]} columns"
+            )
+        if len(set(names)) != len(names):
+            seen, dups = set(), []
+            for n in names:
+                if n in seen:
+                    dups.append(n)
+                seen.add(n)
+            raise ValueError(f"duplicate feature names: {dups}")
+        self.values = values
+        self.feature_names = names
+        self._index = {n: i for i, n in enumerate(names)}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.values.shape
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the column named ``name`` as a 1-D array."""
+        try:
+            return self.values[:, self._index[name]]
+        except KeyError:
+            raise KeyError(
+                f"unknown feature {name!r}; known: {self.feature_names[:5]}..."
+            ) from None
+
+    def column_index(self, name: str) -> int:
+        """Return the positional index of the column named ``name``."""
+        if name not in self._index:
+            raise KeyError(f"unknown feature {name!r}")
+        return self._index[name]
+
+    def select(self, names: Sequence[str]) -> "FeatureMatrix":
+        """Return a new matrix restricted to ``names`` (in that order)."""
+        idx = [self.column_index(n) for n in names]
+        return FeatureMatrix(self.values[:, idx], list(names))
+
+    def take(self, rows) -> "FeatureMatrix":
+        """Return a new matrix with only the given ``rows``."""
+        return FeatureMatrix(self.values[rows], self.feature_names)
+
+    def with_row(self, row) -> "FeatureMatrix":
+        """Return a single-row matrix sharing this matrix's schema."""
+        row = np.asarray(row, dtype=np.float64).reshape(1, -1)
+        if row.shape[1] != self.n_features:
+            raise ValueError(
+                f"row has {row.shape[1]} values, expected {self.n_features}"
+            )
+        return FeatureMatrix(row, self.feature_names)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"FeatureMatrix(n_samples={self.n_samples}, "
+            f"n_features={self.n_features})"
+        )

@@ -1,0 +1,102 @@
+"""Input validation helpers shared by estimators and explainers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_array",
+    "check_consistent_length",
+    "check_fitted",
+    "check_X_y",
+    "NotFittedError",
+]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+def check_array(
+    X,
+    *,
+    ndim: int = 2,
+    dtype=np.float64,
+    allow_nan: bool = False,
+    name: str = "X",
+) -> np.ndarray:
+    """Coerce ``X`` to a numpy array and validate its shape and contents.
+
+    Parameters
+    ----------
+    X:
+        Array-like input.
+    ndim:
+        Required number of dimensions.  A 1-D input is promoted to a row
+        matrix only when ``ndim == 2`` and the input is 1-D is rejected —
+        callers that want promotion should do it explicitly.
+    dtype:
+        Target dtype (``None`` keeps the input dtype).
+    allow_nan:
+        Whether NaN/inf values are acceptable.
+    name:
+        Name used in error messages.
+    """
+    arr = np.asarray(X, dtype=dtype)
+    if arr.ndim != ndim:
+        raise ValueError(
+            f"{name} must be {ndim}-dimensional, got shape {arr.shape}"
+        )
+    if arr.size == 0:
+        raise ValueError(f"{name} is empty (shape {arr.shape})")
+    if not allow_nan and arr.dtype.kind == "f" and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_consistent_length(*arrays) -> None:
+    """Raise ``ValueError`` if the arrays have different first dimensions."""
+    lengths = [len(a) for a in arrays if a is not None]
+    if len(set(lengths)) > 1:
+        raise ValueError(f"inconsistent sample counts: {lengths}")
+
+
+def check_X_y(X, y, *, y_numeric: bool = False):
+    """Validate a feature matrix / target vector pair.
+
+    Returns the validated ``(X, y)`` as numpy arrays with matching first
+    dimension.  ``y`` is flattened to 1-D.
+    """
+    X = check_array(X, ndim=2, name="X")
+    y = np.asarray(y)
+    if y.ndim == 2 and y.shape[1] == 1:
+        y = y.ravel()
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-dimensional, got shape {y.shape}")
+    check_consistent_length(X, y)
+    if y_numeric:
+        y = y.astype(np.float64)
+        if not np.all(np.isfinite(y)):
+            raise ValueError("y contains NaN or infinite values")
+    return X, y
+
+
+def check_fitted(estimator, attributes) -> None:
+    """Raise :class:`NotFittedError` unless all ``attributes`` are set.
+
+    Parameters
+    ----------
+    estimator:
+        Any object following the fit/predict convention.
+    attributes:
+        Attribute name or list of names that ``fit`` must have set (by
+        convention, names ending in an underscore).
+    """
+    if isinstance(attributes, str):
+        attributes = [attributes]
+    missing = [a for a in attributes if getattr(estimator, a, None) is None]
+    if missing:
+        raise NotFittedError(
+            f"{type(estimator).__name__} is not fitted yet "
+            f"(missing {', '.join(missing)}); call fit() first"
+        )

@@ -1,0 +1,65 @@
+"""Shared fixtures.
+
+Expensive artifacts (simulations, fitted ensembles) are session-scoped
+so the suite stays fast; tests must not mutate them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_sla_violation_dataset
+from repro.ml import RandomForestClassifier
+from repro.ml.model_selection import train_test_split
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def sla_dataset():
+    """A small but realistic SLA-violation dataset (shared, read-only)."""
+    return make_sla_violation_dataset(n_epochs=1200, random_state=42)
+
+
+@pytest.fixture(scope="session")
+def sla_split(sla_dataset):
+    """(X_train, X_test, y_train, y_test) from the shared dataset."""
+    return train_test_split(
+        sla_dataset.X.values,
+        sla_dataset.y,
+        test_size=0.3,
+        random_state=0,
+        stratify=sla_dataset.y,
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_rf(sla_split):
+    """A forest fitted on the shared dataset (read-only)."""
+    X_train, _, y_train, _ = sla_split
+    return RandomForestClassifier(
+        n_estimators=25, max_depth=7, random_state=0
+    ).fit(X_train, y_train)
+
+
+@pytest.fixture(scope="session")
+def regression_data():
+    """Simple nonlinear regression problem with known structure."""
+    gen = np.random.default_rng(7)
+    X = gen.normal(size=(400, 6))
+    y = 2.0 * X[:, 0] + X[:, 1] * X[:, 2] - 0.5 * X[:, 3] + gen.normal(
+        0, 0.1, 400
+    )
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def classification_data():
+    """Simple nonlinear binary classification problem."""
+    gen = np.random.default_rng(8)
+    X = gen.normal(size=(500, 6))
+    margin = X[:, 0] + X[:, 1] ** 2 - X[:, 2]
+    y = (margin > 0.3).astype(int)
+    return X, y

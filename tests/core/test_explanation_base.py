@@ -1,0 +1,121 @@
+"""Tests for repro.core.explainers.base."""
+
+import numpy as np
+import pytest
+
+from repro.core.explainers.base import (
+    Explanation,
+    GlobalExplanation,
+    model_output_fn,
+)
+from repro.ml import LinearRegression, LogisticRegression
+
+
+@pytest.fixture
+def explanation():
+    return Explanation(
+        feature_names=["a", "b", "c"],
+        values=np.array([0.5, -0.2, 0.1]),
+        base_value=1.0,
+        prediction=1.4,
+        x=np.array([1.0, 2.0, 3.0]),
+        method="test",
+    )
+
+
+class TestExplanation:
+    def test_additivity_gap(self, explanation):
+        assert explanation.additivity_gap() == pytest.approx(0.0)
+
+    def test_additivity_gap_nonzero(self):
+        e = Explanation(
+            ["a"], np.array([0.5]), base_value=0.0, prediction=1.0,
+            x=np.array([1.0]), method="m",
+        )
+        assert e.additivity_gap() == pytest.approx(0.5)
+
+    def test_top_features_by_abs(self, explanation):
+        tops = explanation.top_features(2)
+        assert tops[0] == ("a", 0.5)
+        assert tops[1] == ("b", pytest.approx(-0.2))
+
+    def test_top_features_signed(self, explanation):
+        tops = explanation.top_features(3, by_abs=False)
+        assert tops[0][0] == "a"
+        assert tops[-1][0] == "b"
+
+    def test_ranking(self, explanation):
+        np.testing.assert_array_equal(explanation.ranking(), [0, 1, 2])
+
+    def test_as_dict(self, explanation):
+        d = explanation.as_dict()
+        assert d["a"] == 0.5
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError, match="names"):
+            Explanation(
+                ["a"], np.array([1.0, 2.0]), 0.0, 0.0, np.zeros(2), "m"
+            )
+        with pytest.raises(ValueError, match="attributions"):
+            Explanation(
+                ["a", "b"], np.array([1.0, 2.0]), 0.0, 0.0, np.zeros(3), "m"
+            )
+
+    def test_bad_k(self, explanation):
+        with pytest.raises(ValueError, match="k"):
+            explanation.top_features(0)
+
+
+class TestGlobalExplanation:
+    def test_top_features(self):
+        g = GlobalExplanation(["a", "b"], np.array([0.1, 0.9]), "m")
+        assert g.top_features(1) == [("b", pytest.approx(0.9))]
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError, match="names"):
+            GlobalExplanation(["a"], np.array([1.0, 2.0]), "m")
+
+
+class TestModelOutputFn:
+    def test_auto_uses_proba_for_classifier(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegression().fit(X, y)
+        fn = model_output_fn(model)
+        out = fn(X[:5])
+        np.testing.assert_allclose(out, model.predict_proba(X[:5])[:, 1])
+
+    def test_auto_uses_predict_for_regressor(self, regression_data):
+        X, y = regression_data
+        model = LinearRegression().fit(X, y)
+        fn = model_output_fn(model)
+        np.testing.assert_allclose(fn(X[:5]), model.predict(X[:5]))
+
+    def test_class_index(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegression().fit(X, y)
+        fn = model_output_fn(model, class_index=0)
+        np.testing.assert_allclose(fn(X[:5]), model.predict_proba(X[:5])[:, 0])
+
+    def test_margin_output(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegression().fit(X, y)
+        fn = model_output_fn(model, output="margin")
+        assert fn(X[:5]).shape == (5,)
+
+    def test_single_row_input(self, regression_data):
+        X, y = regression_data
+        model = LinearRegression().fit(X, y)
+        fn = model_output_fn(model)
+        assert fn(X[0].reshape(1, -1)).shape == (1,)
+
+    def test_proba_on_regressor_rejected(self, regression_data):
+        X, y = regression_data
+        model = LinearRegression().fit(X, y)
+        with pytest.raises(ValueError, match="predict_proba"):
+            model_output_fn(model, output="proba")
+
+    def test_unknown_output(self, regression_data):
+        X, y = regression_data
+        model = LinearRegression().fit(X, y)
+        with pytest.raises(ValueError, match="unknown output"):
+            model_output_fn(model, output="loss")

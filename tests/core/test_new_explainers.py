@@ -1,0 +1,282 @@
+"""Tests for SamplingShapley, InterventionalTreeSHAP, and Integrated
+Gradients."""
+
+import numpy as np
+import pytest
+
+from repro.core.explainers import (
+    ExactShapleyExplainer,
+    IntegratedGradientsExplainer,
+    InterventionalTreeShapExplainer,
+    SamplingShapleyExplainer,
+    TreeShapExplainer,
+    make_explainer,
+    model_output_fn,
+)
+from repro.ml import (
+    GradientBoostingRegressor,
+    LinearRegression,
+    MLPClassifier,
+    MLPRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+
+
+@pytest.fixture(scope="module")
+def forest_setup():
+    gen = np.random.default_rng(0)
+    X = gen.normal(size=(300, 6))
+    y = X @ np.array([2.0, -1.0, 0.5, 0.0, 1.0, 0.0]) + 1.5 * X[:, 0] * X[:, 1]
+    model = RandomForestRegressor(
+        n_estimators=10, max_depth=5, random_state=0
+    ).fit(X, y)
+    background = X[:20]
+    fn = model_output_fn(model)
+    exact = ExactShapleyExplainer(fn, background).explain(X[0])
+    return X, model, background, fn, exact
+
+
+class TestSamplingShapley:
+    def test_converges_to_exact(self, forest_setup):
+        X, model, background, fn, exact = forest_setup
+        sampler = SamplingShapleyExplainer(
+            fn, background, n_permutations=200, random_state=0
+        )
+        e = sampler.explain(X[0])
+        np.testing.assert_allclose(e.values, exact.values, atol=0.02)
+
+    def test_more_permutations_lower_error(self, forest_setup):
+        X, model, background, fn, exact = forest_setup
+
+        def error(n_perms: int) -> float:
+            errs = []
+            for seed in range(3):
+                e = SamplingShapleyExplainer(
+                    fn, background, n_permutations=n_perms, random_state=seed
+                ).explain(X[0])
+                errs.append(np.abs(e.values - exact.values).mean())
+            return float(np.mean(errs))
+
+        assert error(64) < error(4)
+
+    def test_linear_model_closed_form(self):
+        gen = np.random.default_rng(1)
+        X = gen.normal(size=(200, 4))
+        coef = np.array([1.0, -2.0, 0.0, 0.5])
+        model = LinearRegression().fit(X, X @ coef)
+        fn = model_output_fn(model)
+        background = X[:30]
+        e = SamplingShapleyExplainer(
+            fn, background, n_permutations=20, random_state=0
+        ).explain(X[5])
+        expected = coef * (X[5] - background.mean(axis=0))
+        # for additive models every permutation gives the exact answer
+        np.testing.assert_allclose(e.values, expected, atol=1e-10)
+
+    def test_reproducible(self, forest_setup):
+        X, model, background, fn, _ = forest_setup
+        a = SamplingShapleyExplainer(
+            fn, background, n_permutations=10, random_state=3
+        ).explain(X[1])
+        b = SamplingShapleyExplainer(
+            fn, background, n_permutations=10, random_state=3
+        ).explain(X[1])
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_validation(self, forest_setup):
+        _, _, background, fn, _ = forest_setup
+        with pytest.raises(ValueError, match="n_permutations"):
+            SamplingShapleyExplainer(fn, background, n_permutations=0)
+
+
+class TestInterventionalTreeShap:
+    def test_matches_exact_shapley(self, forest_setup):
+        """Same value function as exact enumeration -> identical values
+        (this is the ablation anchor: path-dependent TreeSHAP differs)."""
+        X, model, background, fn, exact = forest_setup
+        explainer = InterventionalTreeShapExplainer(model, background)
+        for row in (0, 3, 11):
+            e = explainer.explain(X[row])
+            reference = ExactShapleyExplainer(fn, background).explain(X[row])
+            np.testing.assert_allclose(e.values, reference.values, atol=1e-10)
+
+    def test_efficiency(self, forest_setup):
+        X, model, background, _, _ = forest_setup
+        e = InterventionalTreeShapExplainer(model, background).explain(X[2])
+        assert e.additivity_gap() < 1e-10
+        assert e.prediction == pytest.approx(
+            model.predict(X[2].reshape(1, -1))[0], abs=1e-10
+        )
+
+    def test_differs_from_path_dependent(self, forest_setup):
+        """The two value functions legitimately disagree on correlated
+        features — quantifying this is DESIGN.md ablation #1."""
+        X, model, background, _, _ = forest_setup
+        interventional = InterventionalTreeShapExplainer(model, background)
+        path_dependent = TreeShapExplainer(model)
+        diffs, corrs = [], []
+        for row in range(5):
+            a = interventional.explain(X[row]).values
+            b = path_dependent.explain(X[row]).values
+            diffs.append(np.abs(a - b).max())
+            corrs.append(np.corrcoef(a, b)[0, 1])
+        # they must broadly agree (same model!) but not be identical:
+        # the 20-row background makes individual instances drift
+        assert max(diffs) > 1e-6
+        assert np.mean(corrs) > 0.8
+
+    def test_classifier_probability(self, classification_data):
+        X, y = classification_data
+        model = RandomForestClassifier(
+            n_estimators=10, max_depth=4, random_state=0
+        ).fit(X, y)
+        e = InterventionalTreeShapExplainer(
+            model, X[:15], class_index=1
+        ).explain(X[0])
+        assert e.prediction == pytest.approx(
+            model.predict_proba(X[:1])[0, 1], abs=1e-10
+        )
+
+    def test_gbm(self, forest_setup):
+        X, _, background, _, _ = forest_setup
+        y = X[:, 0] * 2 + X[:, 1]
+        gbm = GradientBoostingRegressor(n_estimators=15, random_state=0).fit(X, y)
+        e = InterventionalTreeShapExplainer(gbm, background).explain(X[0])
+        assert e.prediction == pytest.approx(
+            gbm.predict(X[:1])[0], abs=1e-9
+        )
+
+    def test_background_validation(self, forest_setup):
+        _, model, _, _, _ = forest_setup
+        with pytest.raises(ValueError, match="background"):
+            InterventionalTreeShapExplainer(model, np.zeros((5, 99)))
+
+
+class TestIntegratedGradients:
+    @pytest.fixture(scope="class")
+    def mlp_setup(self):
+        gen = np.random.default_rng(2)
+        X = gen.normal(size=(400, 5))
+        coef = np.array([2.0, -1.0, 0.5, 0.0, 1.0])
+        y = X @ coef
+        model = MLPRegressor(
+            hidden_layer_sizes=(32,), max_epochs=150, random_state=0
+        ).fit(X, y)
+        return X, coef, model
+
+    def test_completeness(self, mlp_setup):
+        X, coef, model = mlp_setup
+        explainer = IntegratedGradientsExplainer(
+            model, background=X, n_steps=128
+        )
+        e = explainer.explain(X[0])
+        assert e.additivity_gap() < 1e-2
+
+    def test_more_steps_smaller_gap(self, mlp_setup):
+        X, coef, model = mlp_setup
+        gaps = []
+        for steps in (2, 256):
+            e = IntegratedGradientsExplainer(
+                model, background=X, n_steps=steps
+            ).explain(X[3])
+            gaps.append(e.additivity_gap())
+        assert gaps[1] <= gaps[0] + 1e-9
+
+    def test_approximates_closed_form_on_linear_target(self, mlp_setup):
+        X, coef, model = mlp_setup
+        explainer = IntegratedGradientsExplainer(model, background=X, n_steps=64)
+        e = explainer.explain(X[1])
+        expected = coef * (X[1] - X.mean(axis=0))
+        # the MLP approximates the linear map, so IG approximates the
+        # closed form — correlation is the robust check
+        assert np.corrcoef(e.values, expected)[0, 1] > 0.98
+
+    def test_classifier_logit(self, classification_data):
+        X, y = classification_data
+        model = MLPClassifier(max_epochs=40, random_state=0).fit(X, y)
+        e = IntegratedGradientsExplainer(
+            model, background=X, n_steps=64, class_index=1
+        ).explain(X[0])
+        assert np.all(np.isfinite(e.values))
+        assert e.additivity_gap() < 0.05
+
+    def test_explicit_baseline(self, mlp_setup):
+        X, coef, model = mlp_setup
+        baseline = np.zeros(5)
+        e = IntegratedGradientsExplainer(
+            model, baseline=baseline, n_steps=64
+        ).explain(X[0])
+        assert e.base_value == pytest.approx(
+            float(model.predict(baseline.reshape(1, -1))[0]), abs=1e-9
+        )
+
+    def test_unsupported_model_rejected(self, forest_setup):
+        _, model, background, _, _ = forest_setup
+        with pytest.raises(TypeError, match="input_gradients"):
+            IntegratedGradientsExplainer(model, background=background)
+
+    def test_background_xor_baseline(self, mlp_setup):
+        X, _, model = mlp_setup
+        with pytest.raises(ValueError, match="exactly one"):
+            IntegratedGradientsExplainer(model)
+        with pytest.raises(ValueError, match="exactly one"):
+            IntegratedGradientsExplainer(
+                model, background=X, baseline=np.zeros(5)
+            )
+
+
+class TestMlpInputGradients:
+    def test_matches_finite_differences(self):
+        gen = np.random.default_rng(3)
+        X = gen.normal(size=(200, 4))
+        y = np.sin(X[:, 0]) + X[:, 1] ** 2
+        model = MLPRegressor(
+            hidden_layer_sizes=(16,), max_epochs=60, random_state=0
+        ).fit(X, y)
+        x = X[0]
+        analytic = model.input_gradients(x.reshape(1, -1))[0]
+        eps = 1e-5
+        for j in range(4):
+            up, down = x.copy(), x.copy()
+            up[j] += eps
+            down[j] -= eps
+            numeric = (
+                model.predict(up.reshape(1, -1))[0]
+                - model.predict(down.reshape(1, -1))[0]
+            ) / (2 * eps)
+            assert analytic[j] == pytest.approx(numeric, abs=1e-4)
+
+    def test_classifier_gradient_shape(self, classification_data):
+        X, y = classification_data
+        model = MLPClassifier(max_epochs=10, random_state=0).fit(X, y)
+        grads = model.input_gradients(X[:7], output_index=1)
+        assert grads.shape == (7, X.shape[1])
+
+    def test_bad_output_index(self, classification_data):
+        X, y = classification_data
+        model = MLPClassifier(max_epochs=5, random_state=0).fit(X, y)
+        with pytest.raises(ValueError, match="output_index"):
+            model.input_gradients(X[:2], output_index=9)
+
+
+class TestFactoryNewMethods:
+    def test_auto_mlp_uses_ig(self, classification_data):
+        X, y = classification_data
+        model = MLPClassifier(max_epochs=10, random_state=0).fit(X, y)
+        explainer = make_explainer("auto", model, X)
+        assert isinstance(explainer, IntegratedGradientsExplainer)
+
+    def test_sampling_by_name(self, forest_setup):
+        X, model, background, _, _ = forest_setup
+        explainer = make_explainer(
+            "sampling_shapley", model, background, n_permutations=4
+        )
+        assert isinstance(explainer, SamplingShapleyExplainer)
+
+    def test_interventional_by_name(self, forest_setup):
+        X, model, background, _, _ = forest_setup
+        explainer = make_explainer(
+            "interventional_tree_shap", model, background
+        )
+        assert isinstance(explainer, InterventionalTreeShapExplainer)

@@ -1,0 +1,161 @@
+"""Tests for permutation importance and partial dependence."""
+
+import numpy as np
+import pytest
+
+from repro.core.explainers import (
+    PartialDependence,
+    PermutationImportance,
+    model_output_fn,
+)
+from repro.ml import LinearRegression, RandomForestClassifier
+from repro.ml.metrics import accuracy_score, r2_score
+
+
+class TestPermutationImportance:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        gen = np.random.default_rng(0)
+        X = gen.normal(size=(500, 5))
+        y = (X[:, 0] + 2.0 * X[:, 2] > 0).astype(int)
+        model = RandomForestClassifier(
+            n_estimators=20, max_depth=6, random_state=0
+        ).fit(X, y)
+
+        def predict(Z):
+            return model.predict(Z)
+
+        return X, y, predict
+
+    def test_informative_features_ranked_first(self, setup):
+        X, y, predict = setup
+        pi = PermutationImportance(
+            predict, accuracy_score, n_repeats=3, random_state=0
+        )
+        gi = pi.global_importance(X, y)
+        top2 = set(np.argsort(-gi.importances)[:2].tolist())
+        assert top2 == {0, 2}
+
+    def test_stronger_feature_more_important(self, setup):
+        X, y, predict = setup
+        gi = PermutationImportance(
+            predict, accuracy_score, n_repeats=3, random_state=0
+        ).global_importance(X, y)
+        assert gi.importances[2] > gi.importances[0]
+
+    def test_noise_features_near_zero(self, setup):
+        X, y, predict = setup
+        gi = PermutationImportance(
+            predict, accuracy_score, n_repeats=3, random_state=0
+        ).global_importance(X, y)
+        for j in (1, 3, 4):
+            assert gi.importances[j] < 0.02
+
+    def test_baseline_score_recorded(self, setup):
+        X, y, predict = setup
+        gi = PermutationImportance(
+            predict, accuracy_score, random_state=0
+        ).global_importance(X, y)
+        assert gi.extras["baseline_score"] > 0.9
+
+    def test_reproducible(self, setup):
+        X, y, predict = setup
+        a = PermutationImportance(
+            predict, accuracy_score, random_state=3
+        ).global_importance(X, y)
+        b = PermutationImportance(
+            predict, accuracy_score, random_state=3
+        ).global_importance(X, y)
+        np.testing.assert_allclose(a.importances, b.importances)
+
+    def test_regression_scoring(self, regression_data):
+        X, y = regression_data
+        model = LinearRegression().fit(X, y)
+        gi = PermutationImportance(
+            model_output_fn(model), r2_score, random_state=0
+        ).global_importance(X, y)
+        # feature 0 has coefficient 2.0 — the largest main effect
+        assert np.argmax(gi.importances) == 0
+
+    def test_feature_names(self, setup):
+        X, y, predict = setup
+        names = list("abcde")
+        gi = PermutationImportance(
+            predict, accuracy_score, random_state=0
+        ).global_importance(X, y, feature_names=names)
+        assert gi.feature_names == names
+
+    def test_validation(self, setup):
+        X, y, predict = setup
+        with pytest.raises(ValueError, match="n_repeats"):
+            PermutationImportance(predict, accuracy_score, n_repeats=0)
+        pi = PermutationImportance(predict, accuracy_score)
+        with pytest.raises(ValueError, match="same length"):
+            pi.global_importance(X, y[:-5])
+
+
+class TestPartialDependence:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        gen = np.random.default_rng(1)
+        X = gen.normal(size=(300, 3))
+
+        def fn(Z):
+            return 2.0 * Z[:, 0] - Z[:, 1] ** 2
+
+        return X, fn
+
+    def test_linear_feature_linear_curve(self, setup):
+        X, fn = setup
+        pdp = PartialDependence(fn, X, ["x0", "x1", "x2"])
+        result = pdp.compute("x0", grid_size=15)
+        # slope of PD curve for a linear effect = its coefficient
+        assert result.slope == pytest.approx(2.0, rel=0.01)
+
+    def test_quadratic_feature_nonmonotone(self, setup):
+        X, fn = setup
+        result = PartialDependence(fn, X).compute(1, grid_size=21)
+        middle = result.average[len(result.average) // 2]
+        assert middle > result.average[0]
+        assert middle > result.average[-1]
+
+    def test_irrelevant_feature_flat(self, setup):
+        X, fn = setup
+        result = PartialDependence(fn, X).compute(2, grid_size=10)
+        assert result.average.std() < 1e-10
+
+    def test_ice_curves_shape(self, setup):
+        X, fn = setup
+        result = PartialDependence(fn, X).compute(
+            0, grid_size=8, with_ice=True, max_ice_samples=20
+        )
+        assert result.ice.shape == (20, 8)
+
+    def test_ice_mean_close_to_pd(self, setup):
+        X, fn = setup
+        result = PartialDependence(fn, X).compute(
+            0, grid_size=8, with_ice=True, max_ice_samples=300
+        )
+        np.testing.assert_allclose(
+            result.ice.mean(axis=0), result.average, atol=1e-9
+        )
+
+    def test_grid_within_percentiles(self, setup):
+        X, fn = setup
+        result = PartialDependence(fn, X).compute(
+            0, percentile_range=(10.0, 90.0)
+        )
+        assert result.grid[0] >= np.percentile(X[:, 0], 10) - 1e-12
+        assert result.grid[-1] <= np.percentile(X[:, 0], 90) + 1e-12
+
+    def test_unknown_feature(self, setup):
+        X, fn = setup
+        with pytest.raises(KeyError, match="unknown feature"):
+            PartialDependence(fn, X).compute("nope")
+
+    def test_bad_grid(self, setup):
+        X, fn = setup
+        with pytest.raises(ValueError, match="grid_size"):
+            PartialDependence(fn, X).compute(0, grid_size=1)
+        with pytest.raises(ValueError, match="percentile_range"):
+            PartialDependence(fn, X).compute(0, percentile_range=(90.0, 10.0))

@@ -1,0 +1,138 @@
+"""Tests for the NFV pipeline, reports, and the explainer factory."""
+
+import numpy as np
+import pytest
+
+from repro.core import NFVExplainabilityPipeline
+from repro.core.explainers import (
+    KernelShapExplainer,
+    LimeExplainer,
+    LinearShapExplainer,
+    TreeShapExplainer,
+    make_explainer,
+)
+from repro.core.report import (
+    format_global_report,
+    format_local_report,
+    format_vnf_table,
+)
+from repro.ml import (
+    GaussianNB,
+    LogisticRegression,
+    RandomForestClassifier,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline(sla_dataset):
+    return NFVExplainabilityPipeline(
+        RandomForestClassifier(n_estimators=20, max_depth=7, random_state=0),
+        explainer_method="tree_shap",
+        random_state=0,
+    ).fit(sla_dataset)
+
+
+class TestMakeExplainer:
+    def test_auto_tree_model(self, fitted_rf, sla_dataset):
+        explainer = make_explainer(
+            "auto", fitted_rf, sla_dataset.X, class_index=1
+        )
+        assert isinstance(explainer, TreeShapExplainer)
+
+    def test_auto_linear_model(self, sla_split):
+        X_train, _, y_train, _ = sla_split
+        model = LogisticRegression(max_iter=100).fit(X_train, y_train)
+        explainer = make_explainer("auto", model, X_train)
+        assert isinstance(explainer, LinearShapExplainer)
+
+    def test_auto_other_model_kernel(self, sla_split):
+        X_train, _, y_train, _ = sla_split
+        model = GaussianNB().fit(X_train, y_train)
+        explainer = make_explainer(
+            "auto", model, X_train[:30], n_samples=32
+        )
+        assert isinstance(explainer, KernelShapExplainer)
+
+    def test_lime_by_name(self, fitted_rf, sla_split):
+        X_train = sla_split[0]
+        explainer = make_explainer(
+            "lime", fitted_rf, X_train, n_samples=50, random_state=0
+        )
+        assert isinstance(explainer, LimeExplainer)
+
+    def test_feature_names_from_feature_matrix(self, fitted_rf, sla_dataset):
+        explainer = make_explainer("tree_shap", fitted_rf, sla_dataset.X)
+        assert explainer.feature_names == sla_dataset.X.feature_names
+
+    def test_unknown_method(self, fitted_rf, sla_split):
+        with pytest.raises(ValueError, match="unknown explainer"):
+            make_explainer("gradcam", fitted_rf, sla_split[0])
+
+
+class TestPipeline:
+    def test_model_performance_recorded(self, pipeline):
+        assert pipeline.train_score_ > 0.9
+        assert pipeline.test_score_ > 0.8
+
+    def test_diagnose_violating_sample(self, pipeline, sla_dataset):
+        violations = np.flatnonzero(sla_dataset.y == 1)
+        diagnosis = pipeline.diagnose(sla_dataset.X.values[violations[0]])
+        assert 0.0 <= diagnosis.prediction <= 1.0
+        assert set(diagnosis.vnf_scores) == set(range(5))
+        assert diagnosis.primary_suspect in range(5)
+        assert diagnosis.primary_resource is not None
+
+    def test_diagnosis_efficiency(self, pipeline, sla_dataset):
+        diagnosis = pipeline.diagnose(sla_dataset.X.values[10])
+        assert diagnosis.explanation.additivity_gap() < 1e-8
+
+    def test_alert_threshold(self, pipeline, sla_dataset):
+        d = pipeline.diagnose(sla_dataset.X.values[0])
+        assert d.alert == (d.prediction >= pipeline.threshold)
+
+    def test_report_text(self, pipeline, sla_dataset):
+        text = pipeline.report(sla_dataset.X.values[5])
+        assert "PREDICTION REPORT" in text
+        assert "per-VNF attribution" in text
+        assert "vnf" in text
+
+    def test_global_importance(self, pipeline):
+        gi = pipeline.global_importance(max_rows=15)
+        assert len(gi.importances) == len(pipeline.feature_names_)
+        assert np.all(gi.importances >= 0)
+
+    def test_unfitted_raises(self, sla_dataset):
+        pipe = NFVExplainabilityPipeline(GaussianNB())
+        with pytest.raises(RuntimeError, match="not fitted"):
+            pipe.diagnose(np.zeros(31))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="test_size"):
+            NFVExplainabilityPipeline(GaussianNB(), test_size=2.0)
+        with pytest.raises(ValueError, match="background_size"):
+            NFVExplainabilityPipeline(GaussianNB(), background_size=0)
+
+
+class TestReports:
+    def test_local_report_alert_marker(self, pipeline, sla_dataset):
+        violations = np.flatnonzero(sla_dataset.y == 1)
+        x = sla_dataset.X.values[violations[0]]
+        diagnosis = pipeline.diagnose(x)
+        text = format_local_report(
+            diagnosis.explanation, threshold=0.0
+        )
+        assert "ALERT" in text
+
+    def test_vnf_table_ranked(self):
+        text = format_vnf_table({0: 0.1, 1: 0.9})
+        lines = text.splitlines()
+        assert "1    1" in lines[1]  # rank 1 is vnf 1
+
+    def test_vnf_table_empty(self):
+        assert "no VNF-level" in format_vnf_table({})
+
+    def test_global_report_bars(self, pipeline):
+        gi = pipeline.global_importance(max_rows=10)
+        text = format_global_report(gi, top_k=5)
+        assert "#" in text
+        assert "global importance" in text

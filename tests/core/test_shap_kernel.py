@@ -1,0 +1,174 @@
+"""Tests for KernelSHAP."""
+
+import numpy as np
+import pytest
+
+from repro.core.explainers import (
+    ExactShapleyExplainer,
+    KernelShapExplainer,
+    model_output_fn,
+)
+from repro.core.explainers.shap_kernel import shapley_kernel_weight
+from repro.ml import LinearRegression, RandomForestRegressor
+
+
+@pytest.fixture(scope="module")
+def nonlinear_setup(regression_data):
+    X, y = regression_data
+    model = RandomForestRegressor(
+        n_estimators=15, max_depth=5, random_state=0
+    ).fit(X, y)
+    fn = model_output_fn(model)
+    background = X[:40]
+    return X, fn, background
+
+
+class TestShapleyKernelWeight:
+    def test_symmetric_in_size(self):
+        d = 8
+        for s in range(1, d):
+            assert shapley_kernel_weight(d, s) == pytest.approx(
+                shapley_kernel_weight(d, d - s)
+            )
+
+    def test_extremes_weighted_most(self):
+        d = 10
+        weights = [shapley_kernel_weight(d, s) for s in range(1, d)]
+        assert weights[0] == max(weights)
+        assert weights[d // 2 - 1] == min(weights)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            shapley_kernel_weight(5, 0)
+        with pytest.raises(ValueError):
+            shapley_kernel_weight(5, 5)
+
+
+class TestKernelShap:
+    def test_full_enumeration_matches_exact(self, regression_data):
+        """With budget >= 2^d - 2 KernelSHAP solves the same system as
+        exact Shapley and must agree to numerical precision."""
+        X, y = regression_data
+        model = RandomForestRegressor(
+            n_estimators=10, max_depth=4, random_state=0
+        ).fit(X, y)
+        fn = model_output_fn(model)
+        background = X[:25]
+        exact = ExactShapleyExplainer(fn, background)
+        kernel = KernelShapExplainer(
+            fn, background, n_samples=2**6 + 10, random_state=0
+        )
+        for row in (1, 9):
+            e_exact = exact.explain(X[row])
+            e_kernel = kernel.explain(X[row])
+            np.testing.assert_allclose(
+                e_kernel.values, e_exact.values, atol=1e-8
+            )
+
+    def test_efficiency_always_exact(self, nonlinear_setup):
+        """Efficiency holds even with few samples (constraint built in)."""
+        X, fn, background = nonlinear_setup
+        explainer = KernelShapExplainer(
+            fn, background, n_samples=30, random_state=0
+        )
+        e = explainer.explain(X[4])
+        assert e.additivity_gap() < 1e-8
+
+    def test_sampling_converges_to_exact(self):
+        """On a genuinely nonlinear 10-feature model, error to exact
+        Shapley shrinks as the sample budget grows (E8's headline
+        property).  A *linear* model would be exact at any budget —
+        the coalition regression has zero residual — so a forest is
+        used here."""
+        gen = np.random.default_rng(0)
+        X = gen.normal(size=(300, 10))
+        y = X @ gen.normal(size=10) + 2.0 * X[:, 0] * X[:, 1]
+        model = RandomForestRegressor(
+            n_estimators=10, max_depth=5, random_state=0
+        ).fit(X, y)
+        fn = model_output_fn(model)
+        background = X[:15]
+        exact = ExactShapleyExplainer(fn, background).explain(X[0])
+
+        def mean_error(budget: int) -> float:
+            errs = []
+            for seed in range(3):
+                e = KernelShapExplainer(
+                    fn, background, n_samples=budget, random_state=seed
+                ).explain(X[0])
+                errs.append(float(np.abs(e.values - exact.values).mean()))
+            return float(np.mean(errs))
+
+        assert mean_error(1022) < mean_error(40)
+
+    def test_linear_model_closed_form(self):
+        gen = np.random.default_rng(3)
+        X = gen.normal(size=(200, 6))
+        coef = np.array([2.0, -1.0, 0.5, 0.0, 1.5, -0.3])
+        y = X @ coef + 1.0
+        model = LinearRegression().fit(X, y)
+        fn = model_output_fn(model)
+        background = X[:50]
+        kernel = KernelShapExplainer(
+            fn, background, n_samples=200, random_state=0
+        )
+        x = X[7]
+        expected = coef * (x - background.mean(axis=0))
+        np.testing.assert_allclose(kernel.explain(x).values, expected, atol=1e-6)
+
+    def test_reproducible(self, nonlinear_setup):
+        X, fn, background = nonlinear_setup
+        a = KernelShapExplainer(
+            fn, background, n_samples=100, random_state=5
+        ).explain(X[2])
+        b = KernelShapExplainer(
+            fn, background, n_samples=100, random_state=5
+        ).explain(X[2])
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_paired_sampling_lowers_variance(self):
+        """Antithetic coalitions should reduce run-to-run variance."""
+        gen = np.random.default_rng(4)
+        X = gen.normal(size=(200, 12))
+        y = X @ gen.normal(size=12)
+        model = LinearRegression().fit(X, y)
+        fn = model_output_fn(model)
+        background = X[:20]
+
+        def variance(paired: bool) -> float:
+            runs = []
+            for seed in range(6):
+                e = KernelShapExplainer(
+                    fn, background, n_samples=80, paired=paired,
+                    random_state=seed,
+                ).explain(X[0])
+                runs.append(e.values)
+            return float(np.vstack(runs).std(axis=0).mean())
+
+        assert variance(True) < variance(False) * 1.2
+
+    def test_explain_batch(self, nonlinear_setup):
+        X, fn, background = nonlinear_setup
+        explainer = KernelShapExplainer(
+            fn, background, n_samples=60, random_state=0
+        )
+        explanations = explainer.explain_batch(X[:3])
+        assert len(explanations) == 3
+
+    def test_global_importance(self, nonlinear_setup):
+        X, fn, background = nonlinear_setup
+        explainer = KernelShapExplainer(
+            fn, background, n_samples=60, random_state=0
+        )
+        gi = explainer.global_importance(X[:10])
+        assert len(gi.importances) == X.shape[1]
+        assert np.all(gi.importances >= 0)
+
+    def test_parameter_validation(self, nonlinear_setup):
+        X, fn, background = nonlinear_setup
+        with pytest.raises(ValueError, match="n_samples"):
+            KernelShapExplainer(fn, background, n_samples=1)
+        with pytest.raises(ValueError, match="l2"):
+            KernelShapExplainer(fn, background, l2=-1.0)
+        with pytest.raises(ValueError, match="2-D"):
+            KernelShapExplainer(fn, np.zeros(5))

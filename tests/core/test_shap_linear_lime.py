@@ -1,0 +1,145 @@
+"""Tests for LinearSHAP and LIME."""
+
+import numpy as np
+import pytest
+
+from repro.core.explainers import (
+    LimeExplainer,
+    LinearShapExplainer,
+    model_output_fn,
+)
+from repro.ml import (
+    LinearRegression,
+    LogisticRegression,
+    RandomForestRegressor,
+    RidgeRegression,
+)
+
+
+class TestLinearShap:
+    def test_closed_form(self, rng):
+        X = rng.normal(size=(150, 4))
+        coef = np.array([1.0, -2.0, 0.5, 0.0])
+        y = X @ coef + 2.0
+        model = LinearRegression().fit(X, y)
+        explainer = LinearShapExplainer(model, X)
+        x = X[3]
+        np.testing.assert_allclose(
+            explainer.explain(x).values, coef * (x - X.mean(axis=0)), atol=1e-8
+        )
+
+    def test_efficiency(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = X @ np.array([1.0, 1.0, -1.0])
+        model = RidgeRegression(alpha=0.1).fit(X, y)
+        e = LinearShapExplainer(model, X).explain(X[0])
+        assert e.additivity_gap() < 1e-10
+
+    def test_logistic_explains_margin(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegression(max_iter=200).fit(X, y)
+        explainer = LinearShapExplainer(model, X, class_index=1)
+        e = explainer.explain(X[0])
+        margin = model.decision_function(X[:1])[0, 1]
+        assert e.prediction == pytest.approx(margin, abs=1e-9)
+
+    def test_unsupported_model(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=3, random_state=0).fit(X, y)
+        with pytest.raises(TypeError, match="supports"):
+            LinearShapExplainer(forest, X)
+
+    def test_background_shape_mismatch(self, rng):
+        X = rng.normal(size=(50, 3))
+        model = LinearRegression().fit(X, X[:, 0])
+        with pytest.raises(ValueError, match="incompatible"):
+            LinearShapExplainer(model, np.zeros((10, 5)))
+
+
+class TestLime:
+    @pytest.fixture(scope="class")
+    def forest_setup(self, regression_data):
+        X, y = regression_data
+        model = RandomForestRegressor(
+            n_estimators=15, max_depth=5, random_state=0
+        ).fit(X, y)
+        return X, model_output_fn(model)
+
+    def test_recovers_linear_model_exactly(self, rng):
+        """On a linear model LIME's surrogate is the model itself, so
+        attributions match LinearSHAP."""
+        X = rng.normal(size=(200, 4))
+        coef = np.array([2.0, -1.0, 0.5, 0.0])
+        y = X @ coef
+        model = LinearRegression().fit(X, y)
+        fn = model_output_fn(model)
+        lime = LimeExplainer(
+            fn, X, n_samples=600, alpha=1e-6, random_state=0
+        )
+        x = X[5]
+        expected = coef * (x - X.mean(axis=0))
+        np.testing.assert_allclose(lime.explain(x).values, expected, atol=0.05)
+
+    def test_fidelity_high_on_linear_model(self, rng):
+        X = rng.normal(size=(150, 3))
+        model = LinearRegression().fit(X, X @ np.array([1.0, 2.0, 3.0]))
+        lime = LimeExplainer(model_output_fn(model), X, random_state=0)
+        e = lime.explain(X[0])
+        assert e.extras["fidelity_r2"] > 0.99
+
+    def test_fidelity_reported_on_nonlinear_model(self, forest_setup):
+        X, fn = forest_setup
+        lime = LimeExplainer(fn, X, n_samples=400, random_state=0)
+        e = lime.explain(X[0])
+        assert 0.0 <= e.extras["fidelity_r2"] <= 1.0
+
+    def test_narrower_sampling_higher_fidelity(self, rng):
+        """Smaller perturbation scale = more local = easier for a linear
+        surrogate to fit (E4).  Uses a smooth nonlinear function — on a
+        piecewise-constant forest the relationship is noisy because tiny
+        neighbourhoods straddle individual split boundaries."""
+        X = rng.normal(size=(300, 3))
+
+        def fn(Z):
+            return np.sin(2.0 * Z[:, 0]) + Z[:, 1] ** 2
+
+        r2 = {}
+        for scale in (0.1, 2.0):
+            lime = LimeExplainer(
+                fn, X, n_samples=500, sampling_scale=scale, random_state=1
+            )
+            r2[scale] = np.mean(
+                [lime.explain(X[i]).extras["fidelity_r2"] for i in range(5)]
+            )
+        assert r2[0.1] > r2[2.0]
+
+    def test_feature_selection_zeroes_rest(self, forest_setup):
+        X, fn = forest_setup
+        lime = LimeExplainer(
+            fn, X, n_samples=300, n_features=2, random_state=0
+        )
+        e = lime.explain(X[0])
+        assert np.sum(e.values != 0.0) <= 2
+
+    def test_reproducible(self, forest_setup):
+        X, fn = forest_setup
+        a = LimeExplainer(fn, X, n_samples=200, random_state=4).explain(X[1])
+        b = LimeExplainer(fn, X, n_samples=200, random_state=4).explain(X[1])
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_base_value_consistency(self, forest_setup):
+        """base_value + sum(values) == prediction by construction."""
+        X, fn = forest_setup
+        e = LimeExplainer(fn, X, n_samples=200, random_state=0).explain(X[2])
+        assert e.additivity_gap() < 1e-9
+
+    def test_parameter_validation(self, forest_setup):
+        X, fn = forest_setup
+        with pytest.raises(ValueError, match="n_samples"):
+            LimeExplainer(fn, X, n_samples=5)
+        with pytest.raises(ValueError, match="sampling_scale"):
+            LimeExplainer(fn, X, sampling_scale=0.0)
+        with pytest.raises(ValueError, match="n_features"):
+            LimeExplainer(fn, X, n_features=99)
+        with pytest.raises(ValueError, match="kernel_width"):
+            LimeExplainer(fn, X, kernel_width=0.0)

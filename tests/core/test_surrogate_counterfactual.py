@@ -1,0 +1,144 @@
+"""Tests for the surrogate-tree and counterfactual explainers."""
+
+import numpy as np
+import pytest
+
+from repro.core.explainers import (
+    CounterfactualExplainer,
+    SurrogateTreeExplainer,
+    model_output_fn,
+)
+from repro.ml import LogisticRegression, RandomForestClassifier
+
+
+class TestSurrogateTree:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        gen = np.random.default_rng(2)
+        X = gen.normal(size=(400, 4))
+        y = (X[:, 0] > 0.2).astype(int)
+        model = RandomForestClassifier(
+            n_estimators=20, max_depth=5, random_state=0
+        ).fit(X, y)
+        return X, model_output_fn(model)
+
+    def test_high_fidelity_on_simple_model(self, setup):
+        X, fn = setup
+        surrogate = SurrogateTreeExplainer(fn, max_depth=3).fit(X)
+        assert surrogate.fidelity_ > 0.8
+
+    def test_fidelity_on_heldout(self, setup):
+        X, fn = setup
+        surrogate = SurrogateTreeExplainer(fn, max_depth=3).fit(X[:300])
+        assert surrogate.fidelity(X[300:]) > 0.6
+
+    def test_deeper_surrogate_higher_fidelity(self, setup):
+        X, fn = setup
+        shallow = SurrogateTreeExplainer(fn, max_depth=1).fit(X)
+        deep = SurrogateTreeExplainer(fn, max_depth=5).fit(X)
+        assert deep.fidelity_ >= shallow.fidelity_
+
+    def test_importance_finds_signal(self, setup):
+        X, fn = setup
+        surrogate = SurrogateTreeExplainer(fn, max_depth=3).fit(X)
+        gi = surrogate.global_importance()
+        assert np.argmax(gi.importances) == 0
+
+    def test_rules_text(self, setup):
+        X, fn = setup
+        surrogate = SurrogateTreeExplainer(fn, max_depth=2).fit(
+            X, feature_names=["cpu", "mem", "queue", "drop"]
+        )
+        rules = surrogate.rules()
+        assert "if cpu <=" in rules
+        assert "predict" in rules
+
+    def test_unfitted_raises(self, setup):
+        X, fn = setup
+        with pytest.raises(RuntimeError, match="not fitted"):
+            SurrogateTreeExplainer(fn).rules()
+
+
+class TestCounterfactual:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        gen = np.random.default_rng(3)
+        X = gen.normal(size=(500, 4))
+        y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+        model = LogisticRegression(max_iter=300).fit(X, y)
+        return X, model_output_fn(model)
+
+    def test_flips_positive_prediction(self, setup):
+        X, fn = setup
+        explainer = CounterfactualExplainer(
+            fn, X, threshold=0.5, target="below", max_changes=2
+        )
+        # pick a clearly positive instance
+        positives = X[fn(X) > 0.8]
+        cf = explainer.explain(positives[0])
+        assert cf.success
+        assert cf.prediction_counterfactual < 0.5
+        assert 1 <= len(cf.changed) <= 2
+
+    def test_changes_touch_informative_features(self, setup):
+        X, fn = setup
+        explainer = CounterfactualExplainer(
+            fn, X, feature_names=["a", "b", "c", "d"], max_changes=1
+        )
+        positives = X[fn(X) > 0.9]
+        cf = explainer.explain(positives[0])
+        # the only single-feature flip must use a or b (c, d are noise)
+        assert cf.changed[0][0] in ("a", "b")
+
+    def test_counterfactual_valid_for_model(self, setup):
+        """The reported counterfactual prediction matches re-evaluation."""
+        X, fn = setup
+        explainer = CounterfactualExplainer(fn, X, max_changes=3)
+        cf = explainer.explain(X[np.argmax(fn(X))])
+        again = float(fn(cf.x_counterfactual.reshape(1, -1))[0])
+        assert cf.prediction_counterfactual == pytest.approx(again)
+
+    def test_already_satisfied_no_change(self, setup):
+        X, fn = setup
+        explainer = CounterfactualExplainer(fn, X, target="below")
+        negatives = X[fn(X) < 0.2]
+        cf = explainer.explain(negatives[0])
+        assert cf.success
+        assert cf.changed == []
+        assert cf.distance == 0.0
+
+    def test_target_above(self, setup):
+        X, fn = setup
+        explainer = CounterfactualExplainer(
+            fn, X, target="above", max_changes=2
+        )
+        negatives = X[fn(X) < 0.2]
+        cf = explainer.explain(negatives[0])
+        assert cf.success
+        assert cf.prediction_counterfactual > 0.5
+
+    def test_immutable_features_untouched(self, setup):
+        X, fn = setup
+        explainer = CounterfactualExplainer(
+            fn, X, feature_names=["a", "b", "c", "d"],
+            mutable_features=["b"], max_changes=3,
+        )
+        positives = X[fn(X) > 0.8]
+        cf = explainer.explain(positives[0])
+        touched = {name for name, _, _ in cf.changed}
+        assert touched <= {"b"}
+
+    def test_summary_text(self, setup):
+        X, fn = setup
+        explainer = CounterfactualExplainer(fn, X, max_changes=2)
+        cf = explainer.explain(X[np.argmax(fn(X))])
+        assert "->" in cf.summary() or "no change" in cf.summary()
+
+    def test_validation(self, setup):
+        X, fn = setup
+        with pytest.raises(ValueError, match="target"):
+            CounterfactualExplainer(fn, X, target="sideways")
+        with pytest.raises(ValueError, match="max_changes"):
+            CounterfactualExplainer(fn, X, max_changes=0)
+        with pytest.raises(KeyError, match="unknown mutable"):
+            CounterfactualExplainer(fn, X, mutable_features=["zzz"])

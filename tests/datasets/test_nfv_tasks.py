@@ -1,0 +1,125 @@
+"""Tests for repro.datasets.nfv_tasks."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_latency_dataset,
+    make_root_cause_dataset,
+    make_sla_violation_dataset,
+)
+from repro.nfv.faults import NO_FAULT
+
+
+class TestSlaViolationDataset:
+    def test_shapes_and_labels(self, sla_dataset):
+        assert len(sla_dataset.X) == len(sla_dataset.y)
+        assert set(np.unique(sla_dataset.y)) <= {0, 1}
+        assert sla_dataset.task == "sla_violation"
+
+    def test_nontrivial_class_balance(self, sla_dataset):
+        rate = sla_dataset.y.mean()
+        assert 0.05 < rate < 0.6
+
+    def test_reproducible(self):
+        a = make_sla_violation_dataset(n_epochs=300, random_state=5)
+        b = make_sla_violation_dataset(n_epochs=300, random_state=5)
+        np.testing.assert_array_equal(a.X.values, b.X.values)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_horizon_shifts_labels(self):
+        base = make_sla_violation_dataset(n_epochs=300, random_state=6)
+        shifted = make_sla_violation_dataset(
+            n_epochs=300, horizon=3, random_state=6
+        )
+        assert len(shifted.y) == len(base.y) - 3
+        np.testing.assert_array_equal(shifted.y, base.y[3:])
+        np.testing.assert_array_equal(
+            shifted.X.values, base.X.values[:-3]
+        )
+
+    def test_horizon_rows_track_label_epochs(self):
+        ds = make_sla_violation_dataset(n_epochs=200, horizon=2, random_state=6)
+        assert ds.rows[0] == 2
+        assert len(ds.rows) == len(ds.y)
+
+    def test_without_faults_only_natural_causes(self):
+        ds = make_sla_violation_dataset(
+            n_epochs=300, with_faults=False, random_state=7
+        )
+        assert all(cause == NO_FAULT for cause in ds.result.root_cause)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            make_sla_violation_dataset(n_epochs=100, horizon=-1)
+
+    def test_learnable(self, sla_dataset):
+        """A forest must achieve clearly-above-chance accuracy."""
+        from repro.ml import RandomForestClassifier
+        from repro.ml.model_selection import train_test_split
+
+        X_tr, X_te, y_tr, y_te = train_test_split(
+            sla_dataset.X.values, sla_dataset.y,
+            test_size=0.3, random_state=0, stratify=sla_dataset.y,
+        )
+        model = RandomForestClassifier(n_estimators=20, random_state=0)
+        model.fit(X_tr, y_tr)
+        majority = max(y_te.mean(), 1 - y_te.mean())
+        assert model.score(X_te, y_te) > majority + 0.05
+
+
+class TestLatencyDataset:
+    def test_regression_target(self):
+        ds = make_latency_dataset(n_epochs=300, random_state=8)
+        assert ds.task == "latency"
+        assert ds.y.dtype.kind == "f"
+        assert np.all(ds.y > 0)
+
+    def test_log_target(self):
+        raw = make_latency_dataset(n_epochs=300, random_state=8)
+        logged = make_latency_dataset(
+            n_epochs=300, log_target=True, random_state=8
+        )
+        np.testing.assert_allclose(logged.y, np.log1p(raw.y))
+
+    def test_horizon(self):
+        base = make_latency_dataset(n_epochs=200, random_state=8)
+        shifted = make_latency_dataset(n_epochs=200, horizon=1, random_state=8)
+        np.testing.assert_allclose(shifted.y, base.y[1:])
+
+
+class TestRootCauseDataset:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return make_root_cause_dataset(n_epochs=3000, random_state=9)
+
+    def test_multiclass_labels(self, ds):
+        classes = set(np.unique(ds.y))
+        assert NO_FAULT in classes
+        assert len(classes) >= 3
+
+    def test_rows_map_back_to_epochs(self, ds):
+        for i in range(0, len(ds.y), 50):
+            epoch = ds.rows[i]
+            assert str(ds.result.root_cause[epoch]) == ds.y[i]
+
+    def test_culprits_reachable(self, ds):
+        fault_samples = np.flatnonzero(ds.y != NO_FAULT)
+        kinds_with_culprits = 0
+        for i in fault_samples:
+            culprits = ds.culprits_for_sample(int(i))
+            if culprits:
+                kinds_with_culprits += 1
+                assert all(0 <= c < ds.result.chain.length for c in culprits)
+        assert kinds_with_culprits > 0
+
+    def test_none_fraction_respected(self, ds):
+        n_fault = int(np.sum(ds.y != NO_FAULT))
+        n_none = int(np.sum(ds.y == NO_FAULT))
+        assert n_none <= int(round(0.5 * n_fault)) + 1
+
+    def test_mismatched_xy_rejected(self, ds):
+        from repro.datasets.nfv_tasks import NFVDataset
+
+        with pytest.raises(ValueError, match="rows"):
+            NFVDataset(X=ds.X, y=ds.y[:-1], task="x", result=ds.result)

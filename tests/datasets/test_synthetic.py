@@ -1,0 +1,96 @@
+"""Tests for repro.datasets.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_interaction_regression,
+    make_linear_regression,
+    make_sparse_classification,
+    make_xor_classification,
+)
+
+
+class TestLinearRegression:
+    def test_ground_truth_recoverable(self):
+        X, y, coef = make_linear_regression(
+            n_samples=500, noise=0.01, random_state=0
+        )
+        beta, *_ = np.linalg.lstsq(
+            np.hstack([X.values, np.ones((len(X), 1))]), y, rcond=None
+        )
+        np.testing.assert_allclose(beta[:-1], coef, atol=0.05)
+
+    def test_custom_coefficients(self):
+        X, y, coef = make_linear_regression(
+            coefficients=(1.0, 2.0), random_state=0
+        )
+        assert X.n_features == 2
+        np.testing.assert_array_equal(coef, [1.0, 2.0])
+
+    def test_reproducible(self):
+        a = make_linear_regression(random_state=3)[1]
+        b = make_linear_regression(random_state=3)[1]
+        np.testing.assert_array_equal(a, b)
+
+
+class TestInteractionRegression:
+    def test_interaction_invisible_to_marginal_correlation(self):
+        X, y = make_interaction_regression(
+            n_samples=3000, noise=0.01, random_state=1
+        )
+        # marginal correlation of x0 with y is ~0 despite x0 mattering
+        corr_x0 = abs(np.corrcoef(X.values[:, 0], y)[0, 1])
+        corr_x2 = abs(np.corrcoef(X.values[:, 2], y)[0, 1])
+        assert corr_x0 < 0.1
+        assert corr_x2 > 0.2
+
+    def test_noise_features_appended(self):
+        X, _ = make_interaction_regression(n_noise_features=5, random_state=0)
+        assert X.n_features == 8
+
+    def test_bad_noise_count(self):
+        with pytest.raises(ValueError, match="n_noise_features"):
+            make_interaction_regression(n_noise_features=-1)
+
+
+class TestXor:
+    def test_labels_are_xor_of_signs(self):
+        X, y = make_xor_classification(n_samples=200, random_state=2)
+        expected = (
+            (X.values[:, 0] > 0) ^ (X.values[:, 1] > 0)
+        ).astype(int)
+        np.testing.assert_array_equal(y, expected)
+
+    def test_flip_rate_adds_noise(self):
+        X, y = make_xor_classification(
+            n_samples=2000, flip_rate=0.2, random_state=2
+        )
+        expected = ((X.values[:, 0] > 0) ^ (X.values[:, 1] > 0)).astype(int)
+        flip_fraction = np.mean(y != expected)
+        assert flip_fraction == pytest.approx(0.2, abs=0.05)
+
+    def test_bad_flip_rate(self):
+        with pytest.raises(ValueError, match="flip_rate"):
+            make_xor_classification(flip_rate=0.6)
+
+
+class TestSparseClassification:
+    def test_informative_indices(self):
+        X, y, informative = make_sparse_classification(
+            n_informative=3, n_noise_features=7, random_state=4
+        )
+        np.testing.assert_array_equal(informative, [0, 1, 2])
+        assert X.n_features == 10
+
+    def test_noise_features_uninformative(self):
+        X, y, _ = make_sparse_classification(
+            n_samples=3000, n_informative=2, n_noise_features=3, random_state=4
+        )
+        for j in range(2, 5):
+            corr = abs(np.corrcoef(X.values[:, j], y)[0, 1])
+            assert corr < 0.06
+
+    def test_classes_balanced_roughly(self):
+        _, y, _ = make_sparse_classification(n_samples=2000, random_state=5)
+        assert 0.3 < y.mean() < 0.7

@@ -1,0 +1,129 @@
+"""Tests for repro.ml.forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+
+
+class TestRandomForestClassifier:
+    def test_beats_single_tree_on_noisy_data(self, rng):
+        X = rng.normal(size=(600, 8))
+        margin = X[:, 0] + X[:, 1] ** 2 - X[:, 2] + rng.normal(0, 0.8, 600)
+        y = (margin > 0).astype(int)
+        X_test = rng.normal(size=(300, 8))
+        y_test = (X_test[:, 0] + X_test[:, 1] ** 2 - X_test[:, 2] > 0).astype(int)
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        forest = RandomForestClassifier(n_estimators=40, random_state=0).fit(X, y)
+        assert forest.score(X_test, y_test) > tree.score(X_test, y_test)
+
+    def test_predict_proba_valid(self, classification_data):
+        X, y = classification_data
+        proba = RandomForestClassifier(
+            n_estimators=10, random_state=0
+        ).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-12)
+        assert proba.min() >= 0.0
+
+    def test_reproducible(self, classification_data):
+        X, y = classification_data
+        p1 = RandomForestClassifier(n_estimators=8, random_state=3).fit(X, y).predict(X)
+        p2 = RandomForestClassifier(n_estimators=8, random_state=3).fit(X, y).predict(X)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_different_seeds_differ(self, classification_data):
+        X, y = classification_data
+        f1 = RandomForestClassifier(n_estimators=5, random_state=1).fit(X, y)
+        f2 = RandomForestClassifier(n_estimators=5, random_state=2).fit(X, y)
+        assert not np.array_equal(
+            f1.predict_proba(X), f2.predict_proba(X)
+        )
+
+    def test_oob_score_reasonable(self, classification_data):
+        X, y = classification_data
+        forest = RandomForestClassifier(
+            n_estimators=30, oob_score=True, random_state=0
+        ).fit(X, y)
+        assert 0.6 < forest.oob_score_ <= 1.0
+
+    def test_oob_requires_bootstrap(self):
+        with pytest.raises(ValueError, match="bootstrap"):
+            RandomForestClassifier(bootstrap=False, oob_score=True)
+
+    def test_string_labels(self, rng):
+        X = rng.normal(size=(120, 3))
+        y = np.where(X[:, 0] > 0, "hot", "cold")
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        assert set(forest.predict(X)) <= {"hot", "cold"}
+
+    def test_rare_class_missing_from_bootstrap_handled(self, rng):
+        """A class so rare some bootstraps miss it must not crash."""
+        X = rng.normal(size=(100, 2))
+        y = np.zeros(100, dtype=int)
+        y[:3] = 1
+        forest = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (100, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_feature_importances_identify_signal(self, rng):
+        X = rng.normal(size=(400, 6))
+        y = (X[:, 4] > 0).astype(int)
+        forest = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        assert np.argmax(forest.feature_importances_) == 4
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_n_estimators_validated(self):
+        with pytest.raises(ValueError, match="n_estimators"):
+            RandomForestClassifier(n_estimators=0)
+
+
+class TestRandomForestRegressor:
+    def test_fits_smooth_function(self, rng):
+        X = rng.uniform(-2, 2, size=(500, 2))
+        y = np.sin(X[:, 0]) + 0.5 * X[:, 1]
+        forest = RandomForestRegressor(n_estimators=30, random_state=0).fit(X, y)
+        assert forest.score(X, y) > 0.9
+
+    def test_averaging_reduces_variance(self, regression_data, rng):
+        X, y = regression_data
+        X_test = rng.normal(size=(200, X.shape[1]))
+        y_test = (
+            2.0 * X_test[:, 0]
+            + X_test[:, 1] * X_test[:, 2]
+            - 0.5 * X_test[:, 3]
+        )
+        small = RandomForestRegressor(
+            n_estimators=2, max_features="sqrt", random_state=0
+        ).fit(X, y)
+        large = RandomForestRegressor(
+            n_estimators=40, max_features="sqrt", random_state=0
+        ).fit(X, y)
+        assert large.score(X_test, y_test) > small.score(X_test, y_test)
+
+    def test_oob_score(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(
+            n_estimators=30, oob_score=True, random_state=0
+        ).fit(X, y)
+        assert 0.0 < forest.oob_score_ <= 1.0
+
+    def test_prediction_is_tree_average(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=5, random_state=0).fit(X, y)
+        manual = np.mean([t.predict(X[:10]) for t in forest.estimators_], axis=0)
+        np.testing.assert_allclose(forest.predict(X[:10]), manual)
+
+    def test_no_bootstrap_mode(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(
+            n_estimators=3, bootstrap=False, max_features=1.0, random_state=0
+        ).fit(X, y)
+        # without bootstrap or feature sampling all trees are identical
+        p0 = forest.estimators_[0].predict(X[:20])
+        p1 = forest.estimators_[1].predict(X[:20])
+        np.testing.assert_allclose(p0, p1)

@@ -1,0 +1,152 @@
+"""Tests for repro.ml.metrics against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.ml import metrics as M
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert M.accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_partial(self):
+        assert M.accuracy_score([1, 0, 1, 0], [1, 1, 1, 0]) == 0.75
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            M.accuracy_score([1, 0], [1])
+
+
+class TestConfusionMatrix:
+    def test_hand_computed(self):
+        cm = M.confusion_matrix([0, 0, 1, 1, 1], [0, 1, 1, 1, 0])
+        np.testing.assert_array_equal(cm, [[1, 1], [1, 2]])
+
+    def test_explicit_labels_order(self):
+        cm = M.confusion_matrix([0, 1], [1, 0], labels=[1, 0])
+        np.testing.assert_array_equal(cm, [[0, 1], [1, 0]])
+
+    def test_rows_sum_to_class_counts(self):
+        y_true = [0, 0, 0, 1, 2, 2]
+        cm = M.confusion_matrix(y_true, [0, 1, 2, 1, 2, 0])
+        np.testing.assert_array_equal(cm.sum(axis=1), [3, 1, 2])
+
+
+class TestPrecisionRecallF1:
+    # y_true/y_pred with TP=2, FP=1, FN=1 for class 1
+    Y_TRUE = [1, 1, 1, 0, 0]
+    Y_PRED = [1, 1, 0, 1, 0]
+
+    def test_precision(self):
+        assert M.precision_score(self.Y_TRUE, self.Y_PRED) == pytest.approx(2 / 3)
+
+    def test_recall(self):
+        assert M.recall_score(self.Y_TRUE, self.Y_PRED) == pytest.approx(2 / 3)
+
+    def test_f1(self):
+        assert M.f1_score(self.Y_TRUE, self.Y_PRED) == pytest.approx(2 / 3)
+
+    def test_zero_division_returns_zero(self):
+        assert M.precision_score([0, 0], [0, 0]) == 0.0
+        assert M.recall_score([0, 0], [0, 0]) == 0.0
+        assert M.f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_macro_average(self):
+        p = M.precision_score([0, 1, 1], [0, 1, 0], average="macro")
+        # class 0: precision 1/2; class 1: precision 1/1
+        assert p == pytest.approx(0.75)
+
+    def test_unknown_average(self):
+        with pytest.raises(ValueError, match="average"):
+            M.f1_score([0, 1], [0, 1], average="micro")
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert M.roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_reverse_ranking(self):
+        assert M.roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        gen = np.random.default_rng(0)
+        y = gen.integers(0, 2, 2000)
+        scores = gen.random(2000)
+        assert M.roc_auc_score(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_auc_equals_rank_probability(self):
+        """AUC == P(score_pos > score_neg), by direct computation."""
+        gen = np.random.default_rng(1)
+        y = gen.integers(0, 2, 200)
+        s = gen.random(200)
+        pos, neg = s[y == 1], s[y == 0]
+        pairs = (pos[:, None] > neg[None, :]).mean() + 0.5 * (
+            pos[:, None] == neg[None, :]
+        ).mean()
+        assert M.roc_auc_score(y, s) == pytest.approx(float(pairs), abs=1e-9)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="2 classes"):
+            M.roc_auc_score([1, 1], [0.5, 0.7])
+
+    def test_roc_curve_endpoints(self):
+        fpr, tpr, _ = M.roc_curve([0, 1, 0, 1], [0.3, 0.7, 0.4, 0.9])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+
+class TestLogLossBrier:
+    def test_log_loss_hand_computed(self):
+        # -mean(log(0.8), log(0.7)) for correct confident predictions
+        expected = -np.mean([np.log(0.8), np.log(0.7)])
+        assert M.log_loss([1, 0], [0.8, 0.3]) == pytest.approx(expected)
+
+    def test_log_loss_matrix_form(self):
+        proba = np.array([[0.2, 0.8], [0.7, 0.3]])
+        expected = -np.mean([np.log(0.8), np.log(0.7)])
+        assert M.log_loss([1, 0], proba) == pytest.approx(expected)
+
+    def test_log_loss_clipping(self):
+        assert np.isfinite(M.log_loss([1], [0.0]))
+
+    def test_brier(self):
+        assert M.brier_score([1, 0], [1.0, 0.0]) == 0.0
+        assert M.brier_score([1, 0], [0.0, 1.0]) == 1.0
+
+
+class TestRegressionMetrics:
+    def test_mse(self):
+        assert M.mean_squared_error([1.0, 2.0], [1.0, 4.0]) == 2.0
+
+    def test_rmse(self):
+        assert M.root_mean_squared_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_mae(self):
+        assert M.mean_absolute_error([1.0, 2.0], [2.0, 0.0]) == 1.5
+
+    def test_mape(self):
+        assert M.mean_absolute_percentage_error([2.0, 4.0], [1.0, 2.0]) == 0.5
+
+    def test_r2_perfect(self):
+        assert M.r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_r2_mean_predictor(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert M.r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert M.r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert M.r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_r2_can_be_negative(self):
+        assert M.r2_score([1.0, 2.0, 3.0], [3.0, 3.0, -2.0]) < 0.0
+
+
+class TestClassificationReport:
+    def test_contains_classes_and_accuracy(self):
+        report = M.classification_report([0, 1, 1], [0, 1, 0])
+        assert "accuracy" in report
+        assert "0" in report and "1" in report

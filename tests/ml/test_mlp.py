@@ -1,0 +1,90 @@
+"""Tests for repro.ml.mlp."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLPClassifier, MLPRegressor
+
+
+class TestMLPClassifier:
+    def test_learns_xor(self, rng):
+        X = rng.normal(size=(600, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        model = MLPClassifier(
+            hidden_layer_sizes=(32,), max_epochs=150, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_proba_valid(self, classification_data):
+        X, y = classification_data
+        model = MLPClassifier(max_epochs=30, random_state=0).fit(X, y)
+        proba = model.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert proba.min() >= 0.0
+
+    def test_loss_curve_decreases(self, classification_data):
+        X, y = classification_data
+        model = MLPClassifier(max_epochs=40, random_state=0).fit(X, y)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_reproducible(self, classification_data):
+        X, y = classification_data
+        a = MLPClassifier(max_epochs=10, random_state=1).fit(X, y).predict_proba(X)
+        b = MLPClassifier(max_epochs=10, random_state=1).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(a, b)
+
+    def test_early_stopping_triggers(self, rng):
+        # constant labels are learned immediately -> patience exhausts
+        X = rng.normal(size=(100, 2))
+        y = (X[:, 0] > 0).astype(int)
+        model = MLPClassifier(
+            max_epochs=200, patience=5, random_state=0
+        ).fit(X, y)
+        assert model.n_epochs_ <= 200
+
+    def test_multiclass(self, rng):
+        X = rng.normal(size=(500, 2))
+        y = np.digitize(X[:, 0], [-0.5, 0.5])
+        model = MLPClassifier(max_epochs=80, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_tanh_activation(self, classification_data):
+        X, y = classification_data
+        model = MLPClassifier(
+            activation="tanh", max_epochs=30, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.7
+
+    def test_bad_activation(self):
+        with pytest.raises(ValueError, match="activation"):
+            MLPClassifier(activation="gelu")
+
+    def test_bad_hidden_sizes(self):
+        with pytest.raises(ValueError, match="hidden"):
+            MLPClassifier(hidden_layer_sizes=(0,))
+
+
+class TestMLPRegressor:
+    def test_learns_smooth_function(self, rng):
+        X = rng.uniform(-1, 1, size=(500, 1))
+        y = np.sin(3 * X[:, 0])
+        model = MLPRegressor(
+            hidden_layer_sizes=(64,), max_epochs=200, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_linear_function_easy(self, rng):
+        X = rng.normal(size=(300, 3))
+        y = X @ np.array([1.0, -2.0, 0.5])
+        model = MLPRegressor(max_epochs=100, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_loss_curve_decreases(self, regression_data):
+        X, y = regression_data
+        model = MLPRegressor(max_epochs=30, random_state=0).fit(X, y)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_predict_shape(self, regression_data):
+        X, y = regression_data
+        model = MLPRegressor(max_epochs=5, random_state=0).fit(X, y)
+        assert model.predict(X[:7]).shape == (7,)

@@ -1,0 +1,171 @@
+"""Tests for repro.ml.model_selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, GaussianNB, LinearRegression
+from repro.ml.metrics import accuracy_score
+from repro.ml.model_selection import (
+    GridSearchCV,
+    KFold,
+    ParameterGrid,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = rng.integers(0, 2, 100)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25, random_state=0)
+        assert len(X_te) == 25
+        assert len(X_tr) == 75
+        assert len(y_tr) == 75
+
+    def test_disjoint_and_complete(self, rng):
+        X = np.arange(50).reshape(-1, 1).astype(float)
+        X_tr, X_te = train_test_split(X, test_size=0.3, random_state=1)
+        combined = np.sort(np.concatenate([X_tr[:, 0], X_te[:, 0]]))
+        np.testing.assert_array_equal(combined, np.arange(50))
+
+    def test_stratify_preserves_ratio(self, rng):
+        y = np.array([0] * 80 + [1] * 20)
+        X = rng.normal(size=(100, 2))
+        _, _, y_tr, y_te = train_test_split(
+            X, y, test_size=0.25, random_state=0, stratify=y
+        )
+        assert y_te.mean() == pytest.approx(0.2, abs=0.05)
+        assert y_tr.mean() == pytest.approx(0.2, abs=0.05)
+
+    def test_reproducible(self, rng):
+        X = rng.normal(size=(40, 2))
+        a = train_test_split(X, test_size=0.5, random_state=7)[0]
+        b = train_test_split(X, test_size=0.5, random_state=7)[0]
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_test_size(self):
+        with pytest.raises(ValueError, match="test_size"):
+            train_test_split(np.zeros((10, 1)), test_size=1.5)
+
+    def test_tiny_class_rejected_with_stratify(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = np.array([0] * 9 + [1])
+        with pytest.raises(ValueError, match="too few"):
+            train_test_split(X, y, test_size=0.2, stratify=y)
+
+
+class TestKFold:
+    def test_covers_all_indices_once(self):
+        X = np.zeros((20, 1))
+        seen = []
+        for _, test_idx in KFold(n_splits=4).split(X):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(20))
+
+    def test_train_test_disjoint(self):
+        X = np.zeros((15, 1))
+        for train_idx, test_idx in KFold(n_splits=3).split(X):
+            assert not set(train_idx) & set(test_idx)
+
+    def test_shuffle_changes_folds(self):
+        X = np.zeros((30, 1))
+        plain = [t.tolist() for _, t in KFold(3).split(X)]
+        shuffled = [
+            t.tolist() for _, t in KFold(3, shuffle=True, random_state=0).split(X)
+        ]
+        assert plain != shuffled
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            list(KFold(n_splits=5).split(np.zeros((3, 1))))
+
+    def test_min_splits(self):
+        with pytest.raises(ValueError, match="n_splits"):
+            KFold(n_splits=1)
+
+
+class TestStratifiedKFold:
+    def test_each_fold_has_both_classes(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = np.array([0] * 45 + [1] * 15)
+        for _, test_idx in StratifiedKFold(n_splits=3).split(X, y):
+            assert set(y[test_idx]) == {0, 1}
+
+    def test_fold_class_ratio_preserved(self, rng):
+        X = rng.normal(size=(90, 2))
+        y = np.array([0] * 60 + [1] * 30)
+        for _, test_idx in StratifiedKFold(n_splits=3).split(X, y):
+            assert np.mean(y[test_idx]) == pytest.approx(1 / 3, abs=0.05)
+
+    def test_class_smaller_than_folds_rejected(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = np.array([0] * 8 + [1] * 2)
+        with pytest.raises(ValueError, match="samples"):
+            list(StratifiedKFold(n_splits=3).split(X, y))
+
+
+class TestCrossValScore:
+    def test_returns_per_fold_scores(self, classification_data):
+        X, y = classification_data
+        scores = cross_val_score(GaussianNB(), X, y, cv=4)
+        assert scores.shape == (4,)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_custom_scoring(self, classification_data):
+        X, y = classification_data
+        scores = cross_val_score(
+            GaussianNB(), X, y, cv=3, scoring=accuracy_score
+        )
+        assert len(scores) == 3
+
+    def test_custom_splitter(self, classification_data):
+        X, y = classification_data
+        scores = cross_val_score(
+            GaussianNB(), X, y, cv=StratifiedKFold(n_splits=3)
+        )
+        assert len(scores) == 3
+
+    def test_regression(self, regression_data):
+        X, y = regression_data
+        scores = cross_val_score(LinearRegression(), X, y, cv=3)
+        assert len(scores) == 3
+
+
+class TestParameterGrid:
+    def test_cartesian_product(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y", "z"]})
+        combos = list(grid)
+        assert len(combos) == 6
+        assert len(grid) == 6
+        assert {"a": 1, "b": "x"} in combos
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ParameterGrid({})
+
+
+class TestGridSearchCV:
+    def test_finds_better_depth(self, classification_data):
+        X, y = classification_data
+        search = GridSearchCV(
+            DecisionTreeClassifier(random_state=0),
+            {"max_depth": [1, 6]},
+            cv=3,
+        ).fit(X, y)
+        assert search.best_params_["max_depth"] == 6
+        assert search.best_score_ > 0.7
+        assert len(search.cv_results_) == 2
+
+    def test_best_estimator_refit(self, classification_data):
+        X, y = classification_data
+        search = GridSearchCV(
+            DecisionTreeClassifier(random_state=0), {"max_depth": [2, 4]}, cv=3
+        ).fit(X, y)
+        assert search.predict(X).shape == (len(X),)
+
+    def test_unfitted_predict_raises(self):
+        search = GridSearchCV(GaussianNB(), {"var_smoothing": [1e-9]})
+        with pytest.raises(RuntimeError, match="not fitted"):
+            search.predict(np.zeros((2, 2)))

@@ -1,0 +1,99 @@
+"""Tests for repro.ml.preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MinMaxScaler, OneHotEncoder, StandardScaler
+from repro.utils.validation import NotFittedError
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_not_divided_by_zero(self):
+        X = np.array([[1.0, 5.0], [2.0, 5.0]])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        np.testing.assert_array_equal(Z[:, 1], [0.0, 0.0])
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-12
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])
+
+    def test_feature_count_mismatch(self):
+        scaler = StandardScaler().fit(np.zeros((5, 3)) + [[1, 2, 3]])
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(np.ones((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_range(self, rng):
+        X = rng.normal(size=(100, 3)) * 10
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+        np.testing.assert_allclose(Z.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_custom_range(self, rng):
+        X = rng.normal(size=(50, 2))
+        Z = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), -1.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError, match="increasing"):
+            MinMaxScaler(feature_range=(1.0, 0.0))
+
+    def test_constant_column(self):
+        X = np.array([[3.0], [3.0], [3.0]])
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(40, 3))
+        scaler = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-12
+        )
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        X = np.array([["a"], ["b"], ["a"]])
+        Z = OneHotEncoder().fit_transform(X)
+        np.testing.assert_array_equal(Z, [[1, 0], [0, 1], [1, 0]])
+
+    def test_multi_column(self):
+        X = np.array([[0, "x"], [1, "y"]], dtype=object)
+        Z = OneHotEncoder().fit_transform(X)
+        assert Z.shape == (2, 4)
+        np.testing.assert_array_equal(Z.sum(axis=1), [2.0, 2.0])
+
+    def test_unknown_error_mode(self):
+        enc = OneHotEncoder().fit(np.array([["a"], ["b"]]))
+        with pytest.raises(ValueError, match="unknown category"):
+            enc.transform(np.array([["c"]]))
+
+    def test_unknown_ignore_mode(self):
+        enc = OneHotEncoder(handle_unknown="ignore").fit(np.array([["a"], ["b"]]))
+        Z = enc.transform(np.array([["c"]]))
+        np.testing.assert_array_equal(Z, [[0, 0]])
+
+    def test_feature_names(self):
+        enc = OneHotEncoder().fit(np.array([["a"], ["b"]]))
+        assert enc.feature_names(["col"]) == ["col=a", "col=b"]
+
+    def test_bad_handle_unknown(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder(handle_unknown="skip")

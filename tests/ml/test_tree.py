@@ -1,0 +1,174 @@
+"""Tests for repro.ml.tree (CART)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.tree import LEAF
+
+
+class TestClassifier:
+    def test_fits_separable_data_perfectly(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = (X[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_unlimited_depth_memorizes_xor(self, rng):
+        """Greedy CART gets ~zero gain at the XOR root (the classic
+        failure mode) but memorizes the training set given full depth."""
+        X = rng.normal(size=(400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier().fit(X, y)
+        assert shallow.score(X, y) < 0.75
+        assert deep.score(X, y) == 1.0
+
+    def test_max_depth_respected(self, rng):
+        X = rng.normal(size=(300, 4))
+        y = (X @ np.array([1, -1, 0.5, 0]) > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.get_depth() <= 3
+
+    def test_min_samples_leaf_respected(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier(min_samples_leaf=20).fit(X, y)
+        struct = tree.tree_
+        leaf_sizes = struct.n_node_samples[struct.children_left == LEAF]
+        assert leaf_sizes.min() >= 20
+
+    def test_predict_proba_valid(self, rng):
+        X = rng.normal(size=(150, 3))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        proba = DecisionTreeClassifier(max_depth=4).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        assert proba.min() >= 0.0 and proba.max() <= 1.0
+
+    def test_string_labels_roundtrip(self, rng):
+        X = rng.normal(size=(80, 2))
+        y = np.where(X[:, 0] > 0, "up", "down")
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert set(tree.predict(X)) <= {"up", "down"}
+
+    def test_multiclass(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = np.digitize(X[:, 0], [-0.6, 0.6])
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert tree.predict_proba(X).shape == (300, 3)
+        assert tree.score(X, y) > 0.9
+
+    def test_feature_importances_sum_to_one(self, rng):
+        X = rng.normal(size=(200, 5))
+        y = (X[:, 2] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+        # the informative feature dominates
+        assert np.argmax(tree.feature_importances_) == 2
+
+    def test_feature_count_validation(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = (X[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(np.zeros((2, 5)))
+
+
+class TestRegressor:
+    def test_fits_piecewise_constant(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = np.where(X[:, 0] > 0.5, 10.0, -10.0)
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert tree.score(X, y) == pytest.approx(1.0)
+
+    def test_prediction_within_target_range(self, rng, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        pred = tree.predict(X)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    def test_deeper_fits_better_on_train(self, regression_data):
+        X, y = regression_data
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        assert deep.score(X, y) >= shallow.score(X, y)
+
+    def test_single_sample_leaf_memorizes(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = rng.normal(size=30)
+        tree = DecisionTreeRegressor().fit(X, y)
+        np.testing.assert_allclose(tree.predict(X), y, atol=1e-9)
+
+    def test_constant_target_single_node(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        tree = DecisionTreeRegressor().fit(X, np.full(10, 3.0))
+        assert tree.get_n_leaves() == 1
+        np.testing.assert_allclose(tree.predict(X), 3.0)
+
+
+class TestHyperparameterValidation:
+    def test_bad_max_depth(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            DecisionTreeClassifier(max_depth=0)
+
+    def test_bad_min_samples_split(self):
+        with pytest.raises(ValueError, match="min_samples_split"):
+            DecisionTreeRegressor(min_samples_split=1)
+
+    def test_bad_min_samples_leaf(self):
+        with pytest.raises(ValueError, match="min_samples_leaf"):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_bad_max_features(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = (X[:, 0] > 0).astype(int)
+        with pytest.raises(ValueError, match="max_features"):
+            DecisionTreeClassifier(max_features=10).fit(X, y)
+
+
+class TestTreeStructure:
+    @pytest.fixture
+    def fitted(self, rng):
+        X = rng.normal(size=(200, 4))
+        y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+        return DecisionTreeClassifier(max_depth=4).fit(X, y), X
+
+    def test_apply_returns_leaves(self, fitted):
+        tree, X = fitted
+        leaves = tree.apply(X)
+        struct = tree.tree_
+        assert np.all(struct.children_left[leaves] == LEAF)
+
+    def test_decision_path_ends_at_apply_leaf(self, fitted):
+        tree, X = fitted
+        struct = tree.tree_
+        for row in X[:10]:
+            path = struct.decision_path(row)
+            assert path[0] == 0
+            assert path[-1] == struct.apply(row.reshape(1, -1))[0]
+
+    def test_children_counts_conserve_samples(self, fitted):
+        tree, _ = fitted
+        struct = tree.tree_
+        for node in range(struct.n_nodes):
+            if struct.is_leaf(node):
+                continue
+            left = struct.children_left[node]
+            right = struct.children_right[node]
+            assert (
+                struct.n_node_samples[node]
+                == struct.n_node_samples[left] + struct.n_node_samples[right]
+            )
+
+    def test_max_depth_property(self, fitted):
+        tree, _ = fitted
+        assert tree.tree_.max_depth == tree.get_depth()
+
+    def test_random_state_reproducible(self, rng):
+        X = rng.normal(size=(150, 6))
+        y = (X[:, 0] > 0).astype(int)
+        t1 = DecisionTreeClassifier(max_features=2, random_state=5).fit(X, y)
+        t2 = DecisionTreeClassifier(max_features=2, random_state=5).fit(X, y)
+        np.testing.assert_array_equal(t1.tree_.feature, t2.tree_.feature)
+        np.testing.assert_array_equal(t1.tree_.threshold, t2.tree_.threshold)

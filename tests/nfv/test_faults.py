@@ -1,0 +1,128 @@
+"""Tests for repro.nfv.faults."""
+
+import pytest
+
+from repro.nfv.faults import FaultEvent, FaultInjector, FaultKind
+from repro.nfv.placement import FirstFitPlacement
+from repro.nfv.sfc import SLA, ServiceFunctionChain
+from repro.nfv.topology import NfviTopology
+from repro.nfv.vnf import VNFInstance
+
+
+@pytest.fixture
+def placed_chain():
+    topo = NfviTopology.linear(2, cpu_cores=16.0)
+    chain = ServiceFunctionChain(
+        "c0",
+        [
+            VNFInstance("firewall", 1.0, 512.0, "c0-0"),
+            VNFInstance("ids", 2.0, 2048.0, "c0-1"),
+        ],
+        SLA(),
+    )
+    FirstFitPlacement().place(chain, topo)
+    return chain
+
+
+class TestFaultEvent:
+    def test_active_window(self):
+        event = FaultEvent(
+            FaultKind.TRAFFIC_SURGE, start_epoch=10, duration=5, severity=0.5
+        )
+        assert not event.active_at(9)
+        assert event.active_at(10)
+        assert event.active_at(14)
+        assert not event.active_at(15)
+
+    def test_overlap_detection(self):
+        a = FaultEvent(FaultKind.TRAFFIC_SURGE, 0, 10, 0.5)
+        b = FaultEvent(FaultKind.TRAFFIC_SURGE, 5, 10, 0.5)
+        c = FaultEvent(FaultKind.TRAFFIC_SURGE, 10, 5, 0.5)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_vnf_fault_requires_index(self):
+        with pytest.raises(ValueError, match="vnf_index"):
+            FaultEvent(FaultKind.MEMORY_LEAK, 0, 5, 0.5)
+
+    def test_server_fault_requires_server(self):
+        with pytest.raises(ValueError, match="server_id"):
+            FaultEvent(FaultKind.CPU_CONTENTION, 0, 5, 0.5)
+
+    def test_severity_bounds(self):
+        with pytest.raises(ValueError, match="severity"):
+            FaultEvent(FaultKind.TRAFFIC_SURGE, 0, 5, 0.0)
+        with pytest.raises(ValueError, match="severity"):
+            FaultEvent(FaultKind.TRAFFIC_SURGE, 0, 5, 1.5)
+
+    def test_duration_bounds(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent(FaultKind.TRAFFIC_SURGE, 0, 0, 0.5)
+
+
+class TestFaultInjector:
+    def test_schedule_non_overlapping(self, placed_chain):
+        injector = FaultInjector(rate=0.05)
+        events = injector.schedule(2000, placed_chain, random_state=0)
+        assert len(events) > 0
+        ordered = sorted(events, key=lambda e: e.start_epoch)
+        for a, b in zip(ordered, ordered[1:]):
+            assert not a.overlaps(b)
+
+    def test_events_within_horizon(self, placed_chain):
+        events = FaultInjector(rate=0.05).schedule(
+            500, placed_chain, random_state=1
+        )
+        for event in events:
+            assert 0 <= event.start_epoch
+            assert event.end_epoch <= 500
+
+    def test_vnf_faults_target_valid_indices(self, placed_chain):
+        injector = FaultInjector(
+            kinds=[FaultKind.MEMORY_LEAK, FaultKind.CONFIG_ERROR], rate=0.05
+        )
+        events = injector.schedule(1000, placed_chain, random_state=2)
+        assert events
+        for event in events:
+            assert 0 <= event.vnf_index < placed_chain.length
+
+    def test_server_faults_target_chain_servers(self, placed_chain):
+        injector = FaultInjector(kinds=[FaultKind.CPU_CONTENTION], rate=0.05)
+        events = injector.schedule(1000, placed_chain, random_state=3)
+        assert events
+        chain_servers = {inst.server_id for inst in placed_chain.instances}
+        for event in events:
+            assert event.server_id in chain_servers
+
+    def test_reproducible(self, placed_chain):
+        a = FaultInjector(rate=0.03).schedule(800, placed_chain, random_state=9)
+        b = FaultInjector(rate=0.03).schedule(800, placed_chain, random_state=9)
+        assert [(e.kind, e.start_epoch) for e in a] == [
+            (e.kind, e.start_epoch) for e in b
+        ]
+
+    def test_rate_zero_no_events(self, placed_chain):
+        assert FaultInjector(rate=0.0).schedule(500, placed_chain, 0) == []
+
+    def test_severity_range_respected(self, placed_chain):
+        injector = FaultInjector(rate=0.05, severity_range=(0.4, 0.6))
+        events = injector.schedule(2000, placed_chain, random_state=4)
+        for event in events:
+            assert 0.4 <= event.severity <= 0.6
+
+    def test_duration_range_respected(self, placed_chain):
+        injector = FaultInjector(rate=0.05, duration_range=(5, 8))
+        events = injector.schedule(2000, placed_chain, random_state=5)
+        for event in events:
+            # final event may be truncated by the horizon
+            assert event.duration <= 8
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="kinds"):
+            FaultInjector(kinds=[])
+        with pytest.raises(ValueError, match="rate"):
+            FaultInjector(rate=-0.1)
+        with pytest.raises(ValueError, match="duration_range"):
+            FaultInjector(duration_range=(0, 5))
+        with pytest.raises(ValueError, match="severity_range"):
+            FaultInjector(severity_range=(0.5, 1.5))

@@ -1,0 +1,124 @@
+"""Tests for repro.nfv.sfc and repro.nfv.placement."""
+
+import pytest
+
+from repro.nfv.placement import (
+    BestFitPlacement,
+    FirstFitPlacement,
+    PlacementError,
+    RandomPlacement,
+    WorstFitPlacement,
+)
+from repro.nfv.sfc import SLA, ServiceFunctionChain
+from repro.nfv.topology import NfviTopology
+from repro.nfv.vnf import VNFInstance
+
+
+def make_chain(types=("firewall", "nat"), vcpus=2.0, chain_id="c0"):
+    instances = [
+        VNFInstance(t, vcpus=vcpus, mem_mb=512.0, instance_id=f"{chain_id}-{i}")
+        for i, t in enumerate(types)
+    ]
+    return ServiceFunctionChain(chain_id, instances, SLA())
+
+
+class TestSLA:
+    def test_violation_logic(self):
+        sla = SLA(max_latency_ms=5.0, max_loss_rate=0.01)
+        assert not sla.is_violated(4.9, 0.005)
+        assert sla.is_violated(5.1, 0.0)
+        assert sla.is_violated(1.0, 0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_latency_ms"):
+            SLA(max_latency_ms=0.0)
+        with pytest.raises(ValueError, match="max_loss_rate"):
+            SLA(max_loss_rate=1.0)
+
+
+class TestServiceFunctionChain:
+    def test_basic_properties(self):
+        chain = make_chain(("firewall", "ids", "lb"))
+        assert chain.length == 3
+        assert chain.vnf_types == ["firewall", "ids", "lb"]
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ServiceFunctionChain("c", [], SLA())
+
+    def test_duplicate_instance_ids_rejected(self):
+        inst = VNFInstance("nat", 1.0, 256.0, "dup")
+        inst2 = VNFInstance("lb", 1.0, 256.0, "dup")
+        with pytest.raises(ValueError, match="duplicate"):
+            ServiceFunctionChain("c", [inst, inst2], SLA())
+
+    def test_bottleneck_capacity(self):
+        chain = make_chain(("lb", "dpi"))  # dpi is far slower
+        dpi_capacity = chain.instances[1].nominal_capacity_kpps()
+        assert chain.bottleneck_capacity_kpps() == pytest.approx(dpi_capacity)
+
+    def test_propagation_requires_placement(self):
+        chain = make_chain()
+        topo = NfviTopology.linear(2)
+        with pytest.raises(ValueError, match="unplaced"):
+            chain.propagation_latency_us(topo)
+
+    def test_propagation_after_placement(self):
+        chain = make_chain(("firewall", "nat"), vcpus=4.0)
+        topo = NfviTopology.linear(2, cpu_cores=4.0, link_latency_us=100.0)
+        FirstFitPlacement().place(chain, topo)
+        # each server fits exactly one 4-vcpu instance -> adjacent servers
+        assert chain.propagation_latency_us(topo) == pytest.approx(100.0)
+
+
+class TestPlacementStrategies:
+    def test_first_fit_packs(self):
+        topo = NfviTopology.linear(3, cpu_cores=8.0)
+        chain = make_chain(("firewall", "nat", "lb"), vcpus=2.0)
+        mapping = FirstFitPlacement().place(chain, topo)
+        assert set(mapping.values()) == {"server0"}
+
+    def test_worst_fit_spreads(self):
+        topo = NfviTopology.linear(3, cpu_cores=8.0)
+        chain = make_chain(("firewall", "nat", "lb"), vcpus=2.0)
+        mapping = WorstFitPlacement().place(chain, topo)
+        assert len(set(mapping.values())) == 3
+
+    def test_best_fit_prefers_tightest(self):
+        topo = NfviTopology.linear(2, cpu_cores=8.0)
+        # pre-load server1 so it is the tighter fit
+        filler = make_chain(("firewall",), vcpus=5.0, chain_id="filler")
+        topo.server("server1").place(filler.instances[0])
+        chain = make_chain(("nat",), vcpus=2.0)
+        mapping = BestFitPlacement().place(chain, topo)
+        assert mapping["c0-0"] == "server1"
+
+    def test_random_respects_capacity(self):
+        topo = NfviTopology.linear(2, cpu_cores=2.0)
+        chain = make_chain(("firewall", "nat"), vcpus=2.0)
+        mapping = RandomPlacement(random_state=0).place(chain, topo)
+        assert len(set(mapping.values())) == 2  # one per server, forced
+
+    def test_infeasible_raises_and_rolls_back(self):
+        topo = NfviTopology.linear(1, cpu_cores=3.0)
+        chain = make_chain(("firewall", "nat"), vcpus=2.0)  # needs 4 total
+        with pytest.raises(PlacementError, match="no server"):
+            FirstFitPlacement().place(chain, topo)
+        # rollback: nothing left placed
+        assert topo.server("server0").placed_instances == []
+        assert all(inst.server_id is None for inst in chain.instances)
+
+    def test_placement_is_transactional_with_partial_fit(self):
+        topo = NfviTopology.linear(1, cpu_cores=2.0)
+        chain = make_chain(("firewall", "nat", "lb"), vcpus=1.0)
+        # 3 vcpus needed, only 2 available: fails after placing two
+        with pytest.raises(PlacementError):
+            FirstFitPlacement().place(chain, topo)
+        assert topo.server("server0").free_vcpus == 2.0
+
+    def test_colocated_query(self):
+        topo = NfviTopology.linear(1, cpu_cores=8.0)
+        chain = make_chain(("firewall", "nat"), vcpus=2.0)
+        FirstFitPlacement().place(chain, topo)
+        others = topo.colocated(chain.instances[0])
+        assert others == [chain.instances[1]]

@@ -1,0 +1,246 @@
+"""Tests for repro.nfv.simulator — physics sanity and label correctness."""
+
+import numpy as np
+import pytest
+
+from repro.nfv.faults import NO_FAULT, FaultEvent, FaultInjector, FaultKind
+from repro.nfv.sfc import SLA
+from repro.nfv.simulator import Simulator, build_testbed
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(random_state=0)
+
+
+def run(testbed, n_epochs=400, events=None, seed=0, **kwargs):
+    return Simulator(testbed, random_state=seed, **kwargs).run(
+        n_epochs, fault_events=events
+    )
+
+
+class TestBasicRun:
+    def test_shapes_and_types(self, testbed):
+        result = run(testbed, 300)
+        assert result.n_epochs == 300
+        assert result.features.shape[0] == 300
+        assert set(np.unique(result.sla_violation)) <= {0, 1}
+        assert len(result.culprit_vnfs) == 300
+
+    def test_reproducible(self, testbed):
+        a = run(testbed, 200, seed=7)
+        b = run(testbed, 200, seed=7)
+        np.testing.assert_array_equal(a.latency_ms, b.latency_ms)
+        np.testing.assert_array_equal(a.features.values, b.features.values)
+
+    def test_different_seeds_differ(self, testbed):
+        a = run(testbed, 200, seed=1)
+        b = run(testbed, 200, seed=2)
+        assert not np.array_equal(a.latency_ms, b.latency_ms)
+
+    def test_latency_positive_and_finite(self, testbed):
+        result = run(testbed, 300)
+        assert np.all(result.latency_ms > 0)
+        assert np.all(np.isfinite(result.latency_ms))
+
+    def test_loss_is_probability(self, testbed):
+        result = run(testbed, 300)
+        assert np.all(result.loss_rate >= 0.0)
+        assert np.all(result.loss_rate <= 1.0)
+
+    def test_violation_matches_sla_definition(self, testbed):
+        result = run(testbed, 400)
+        sla = testbed.chain.sla
+        expected = np.array(
+            [
+                int(sla.is_violated(lat, loss))
+                for lat, loss in zip(result.latency_ms, result.loss_rate)
+            ]
+        )
+        np.testing.assert_array_equal(result.sla_violation, expected)
+
+    def test_fault_free_run_labels_none(self, testbed):
+        result = run(testbed, 200)
+        assert all(cause == NO_FAULT for cause in result.root_cause)
+        assert all(c == () for c in result.culprit_vnfs)
+
+    def test_summary_mentions_rate(self, testbed):
+        assert "violation rate" in run(testbed, 100).summary()
+
+
+class TestLoadResponse:
+    def test_latency_increases_with_load(self):
+        """Higher offered load must produce higher mean latency."""
+        lat = {}
+        for base in (200.0, 520.0):
+            tb = build_testbed(base_kpps=base, random_state=3)
+            lat[base] = run(tb, 300, seed=3).latency_ms.mean()
+        assert lat[520.0] > lat[200.0]
+
+    def test_overload_causes_loss(self):
+        tb = build_testbed(base_kpps=900.0, random_state=3)  # >> dpi capacity
+        result = run(tb, 200, seed=3)
+        assert result.loss_rate.mean() > 0.05
+
+    def test_light_load_rarely_violates(self):
+        tb = build_testbed(base_kpps=100.0, random_state=3)
+        result = run(tb, 300, seed=3)
+        assert result.violation_rate < 0.05
+
+    def test_throughput_conservation(self, testbed):
+        """Delivered traffic never exceeds offered traffic: loss >= 0
+        already checks this; additionally drops grow with utilization."""
+        result = run(testbed, 500, seed=5)
+        drops = result.features.column("vnf4_dpi_drop_rate")
+        cpu = result.features.column("vnf4_dpi_cpu_util")
+        high = drops[cpu > 0.9]
+        low = drops[cpu < 0.5]
+        if len(high) > 10 and len(low) > 10:
+            assert high.mean() > low.mean()
+
+
+class TestFaultEffects:
+    def _event(self, kind, **kwargs):
+        return FaultEvent(
+            kind=kind, start_epoch=100, duration=100, severity=0.8, **kwargs
+        )
+
+    def test_config_error_raises_utilization(self, testbed):
+        events = [self._event(FaultKind.CONFIG_ERROR, vnf_index=2)]
+        clean = run(testbed, 300, seed=11)
+        faulty = run(testbed, 300, events=events, seed=11)
+        col = "vnf2_ids_cpu_util"
+        window = slice(100, 200)
+        assert (
+            faulty.features.column(col)[window].mean()
+            > clean.features.column(col)[window].mean() + 0.1
+        )
+
+    def test_memory_leak_grows_mem_util(self, testbed):
+        events = [self._event(FaultKind.MEMORY_LEAK, vnf_index=1)]
+        result = run(testbed, 300, events=events, seed=11)
+        mem = result.features.column("vnf1_nat_mem_util")
+        assert mem[190] > mem[99] + 0.2  # grew during the fault
+        assert mem[250] < mem[190]       # reclaimed after restart
+
+    def test_cpu_contention_raises_host_pressure(self, testbed):
+        victim = testbed.chain.instances[2].server_id
+        events = [self._event(FaultKind.CPU_CONTENTION, server_id=victim)]
+        clean = run(testbed, 300, seed=12)
+        faulty = run(testbed, 300, events=events, seed=12)
+        col = "vnf2_ids_host_pressure"
+        window = slice(100, 200)
+        assert (
+            faulty.features.column(col)[window].mean()
+            > clean.features.column(col)[window].mean() + 0.3
+        )
+
+    def test_traffic_surge_raises_offered(self, testbed):
+        events = [self._event(FaultKind.TRAFFIC_SURGE)]
+        clean = run(testbed, 300, seed=13)
+        faulty = run(testbed, 300, events=events, seed=13)
+        window = slice(100, 200)
+        assert (
+            faulty.features.column("offered_kpps")[window].mean()
+            > 1.5 * clean.features.column("offered_kpps")[window].mean()
+        )
+
+    def test_link_degradation_raises_propagation(self, testbed):
+        events = [self._event(FaultKind.LINK_DEGRADATION)]
+        clean = run(testbed, 300, seed=14)
+        faulty = run(testbed, 300, events=events, seed=14)
+        window = slice(100, 200)
+        assert (
+            faulty.features.column("propagation_ms")[window].mean()
+            > 1.5 * clean.features.column("propagation_ms")[window].mean()
+        )
+
+    def test_faults_increase_violations(self, testbed):
+        events = [self._event(FaultKind.CONFIG_ERROR, vnf_index=4)]
+        clean = run(testbed, 300, seed=15)
+        faulty = run(testbed, 300, events=events, seed=15)
+        assert faulty.violation_rate >= clean.violation_rate
+
+    def test_root_cause_labels_cover_window(self, testbed):
+        events = [self._event(FaultKind.MEMORY_LEAK, vnf_index=3)]
+        result = run(testbed, 300, events=events, seed=16)
+        assert all(
+            result.root_cause[t] == "memory_leak" for t in range(100, 200)
+        )
+        assert all(result.culprit_vnfs[t] == (3,) for t in range(100, 200))
+        assert result.root_cause[99] == NO_FAULT
+
+    def test_server_fault_culprits_are_colocated_vnfs(self, testbed):
+        victim = testbed.chain.instances[0].server_id
+        expected = tuple(
+            i
+            for i, inst in enumerate(testbed.chain.instances)
+            if inst.server_id == victim
+        )
+        events = [self._event(FaultKind.CPU_CONTENTION, server_id=victim)]
+        result = run(testbed, 300, events=events, seed=17)
+        assert result.culprit_vnfs[150] == expected
+
+
+class TestInjectorIntegration:
+    def test_injector_produces_mixed_labels(self, testbed):
+        sim = Simulator(testbed, random_state=21)
+        result = sim.run(1500, fault_injector=FaultInjector(rate=0.02))
+        kinds = set(result.root_cause.tolist())
+        assert NO_FAULT in kinds
+        assert len(kinds) >= 3
+
+    def test_events_and_injector_mutually_exclusive(self, testbed):
+        sim = Simulator(testbed, random_state=0)
+        with pytest.raises(ValueError, match="not both"):
+            sim.run(
+                10,
+                fault_events=[],
+                fault_injector=FaultInjector(),
+            )
+
+
+class TestSimulatorOptions:
+    def test_mdl_queueing_faster_than_mm1(self, testbed):
+        mm1 = Simulator(testbed, service_scv=1.0, random_state=5).run(200)
+        md1 = Simulator(testbed, service_scv=0.0, random_state=5).run(200)
+        assert md1.latency_ms.mean() < mm1.latency_ms.mean()
+
+    def test_bigger_buffer_less_loss(self, testbed):
+        small = Simulator(testbed, buffer_pkts=8, random_state=5).run(300)
+        large = Simulator(testbed, buffer_pkts=256, random_state=5).run(300)
+        assert large.loss_rate.mean() <= small.loss_rate.mean()
+
+    def test_parameter_validation(self, testbed):
+        with pytest.raises(ValueError, match="batch_factor"):
+            Simulator(testbed, batch_factor=0.0)
+        with pytest.raises(ValueError, match="buffer_pkts"):
+            Simulator(testbed, buffer_pkts=0)
+        with pytest.raises(ValueError, match="n_epochs"):
+            Simulator(testbed).run(0)
+
+
+class TestBuildTestbed:
+    def test_monitored_chain_placed(self, testbed):
+        assert all(i.server_id is not None for i in testbed.chain.instances)
+
+    def test_monitored_chain_spread_for_propagation(self, testbed):
+        servers = {i.server_id for i in testbed.chain.instances}
+        assert len(servers) >= 3
+
+    def test_background_chains_share_servers(self, testbed):
+        monitored = {i.server_id for i in testbed.chain.instances}
+        background = {
+            i.server_id
+            for chain in testbed.background_chains
+            for i in chain.instances
+        }
+        assert monitored & background
+
+    def test_custom_sla(self):
+        tb = build_testbed(sla=SLA(max_latency_ms=50.0), random_state=0)
+        assert tb.chain.sla.max_latency_ms == 50.0
+
+    def test_custom_chain_types(self):
+        tb = build_testbed(chain_types=("firewall", "cache"), random_state=0)
+        assert tb.chain.vnf_types == ["firewall", "cache"]

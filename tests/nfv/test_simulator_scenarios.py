@@ -1,0 +1,117 @@
+"""Scenario tests for the simulator: custom testbeds, placements, and
+deployment shapes beyond the canonical one."""
+
+import numpy as np
+import pytest
+
+from repro.nfv.placement import FirstFitPlacement, WorstFitPlacement
+from repro.nfv.sfc import SLA, ServiceFunctionChain
+from repro.nfv.simulator import Simulator, build_testbed
+from repro.nfv.simulator import Testbed as NfvTestbed
+from repro.nfv.topology import NfviTopology
+from repro.nfv.traffic import TrafficModel
+from repro.nfv.vnf import VNFInstance
+
+
+def make_custom_testbed(chain_types, *, topology=None, base_kpps=300.0,
+                        vcpus=2.0, placement=None):
+    topology = topology or NfviTopology.linear(4, cpu_cores=16.0)
+    instances = [
+        VNFInstance(t, vcpus=vcpus, mem_mb=4096.0, instance_id=f"c-{i}")
+        for i, t in enumerate(chain_types)
+    ]
+    chain = ServiceFunctionChain(
+        "c", instances, SLA(max_latency_ms=3.0, max_loss_rate=0.01)
+    )
+    (placement or WorstFitPlacement()).place(chain, topology)
+    return NfvTestbed(
+        topology=topology,
+        chain=chain,
+        traffic=TrafficModel(base_kpps=base_kpps),
+    )
+
+
+class TestCustomChains:
+    def test_single_vnf_chain(self):
+        tb = make_custom_testbed(("firewall",))
+        result = Simulator(tb, random_state=0).run(200)
+        assert result.features.shape == (200, 1 * 5 + 4 + 2)
+        assert np.all(result.latency_ms > 0)
+
+    def test_long_chain(self):
+        tb = make_custom_testbed(
+            ("firewall", "nat", "ids", "lb", "dpi", "wanopt", "cache")
+        )
+        result = Simulator(tb, random_state=0).run(150)
+        assert result.features.shape[1] == 7 * 5 + 4 + 2
+        # longer chains accumulate more latency than a single VNF
+        short = Simulator(
+            make_custom_testbed(("firewall",)), random_state=0
+        ).run(150)
+        assert result.latency_ms.mean() > short.latency_ms.mean()
+
+    def test_cache_heavy_chain_memory_profile(self):
+        tb = make_custom_testbed(("cache",), vcpus=1.0)
+        result = Simulator(tb, random_state=0).run(150)
+        mem = result.features.column("vnf0_cache_mem_util")
+        assert mem.mean() > 0.1  # the cache actually uses its memory
+
+    def test_no_background_chains_supported(self):
+        tb = make_custom_testbed(("firewall", "nat"))
+        assert tb.background_chains == []
+        result = Simulator(tb, random_state=0).run(100)
+        assert result.n_epochs == 100
+
+
+class TestPlacementEffects:
+    def test_packed_placement_zero_propagation(self):
+        """First-fit packs the whole chain onto one server, so the
+        propagation component of latency disappears."""
+        packed = make_custom_testbed(
+            ("firewall", "nat"), placement=FirstFitPlacement()
+        )
+        spread = make_custom_testbed(
+            ("firewall", "nat"), placement=WorstFitPlacement()
+        )
+        packed_prop = packed.chain.propagation_latency_us(packed.topology)
+        spread_prop = spread.chain.propagation_latency_us(spread.topology)
+        assert packed_prop == 0.0
+        assert spread_prop > 0.0
+
+    def test_unplaced_chain_rejected_by_testbed(self):
+        topology = NfviTopology.linear(2)
+        chain = ServiceFunctionChain(
+            "c",
+            [VNFInstance("firewall", 1.0, 512.0, "c-0")],
+            SLA(),
+        )
+        with pytest.raises(ValueError, match="not placed"):
+            NfvTestbed(topology=topology, chain=chain, traffic=TrafficModel())
+
+    def test_background_traffic_must_align(self):
+        tb = make_custom_testbed(("firewall",))
+        with pytest.raises(ValueError, match="align"):
+            NfvTestbed(
+                topology=tb.topology,
+                chain=tb.chain,
+                traffic=tb.traffic,
+                background_chains=[],
+                background_traffic=[TrafficModel()],
+            )
+
+
+class TestLoadScaling:
+    @pytest.mark.parametrize("base", [100.0, 400.0])
+    def test_violation_rate_scales_with_load(self, base):
+        tb = build_testbed(base_kpps=base, random_state=1)
+        result = Simulator(tb, random_state=1).run(300)
+        if base <= 100.0:
+            assert result.violation_rate < 0.1
+        else:
+            assert result.violation_rate > 0.02
+
+    def test_fat_tree_testbed(self):
+        topo = NfviTopology.fat_tree(2, cpu_cores=16.0, mem_mb=32768.0)
+        tb = build_testbed(topology=topo, random_state=2)
+        result = Simulator(tb, random_state=2).run(150)
+        assert result.n_epochs == 150

@@ -1,0 +1,93 @@
+"""Tests for repro.nfv.traffic."""
+
+import numpy as np
+import pytest
+
+from repro.nfv.traffic import TrafficModel, TrafficTrace
+
+
+class TestTrafficModel:
+    def test_trace_shapes(self):
+        trace = TrafficModel().generate(500, random_state=0)
+        assert trace.n_epochs == 500
+        assert len(trace.active_kflows) == 500
+        assert len(trace.burstiness) == 500
+
+    def test_all_positive(self):
+        trace = TrafficModel().generate(1000, random_state=1)
+        assert np.all(trace.offered_kpps > 0)
+        assert np.all(trace.active_kflows > 0)
+        assert np.all(trace.burstiness > 0)
+
+    def test_mean_near_base(self):
+        model = TrafficModel(
+            base_kpps=400.0, flash_crowd_rate=0.0, noise_sigma=0.05
+        )
+        trace = model.generate(2000, random_state=2)
+        # diurnal averages out over full cycles
+        assert trace.offered_kpps.mean() == pytest.approx(400.0, rel=0.05)
+
+    def test_reproducible(self):
+        a = TrafficModel().generate(300, random_state=5)
+        b = TrafficModel().generate(300, random_state=5)
+        np.testing.assert_array_equal(a.offered_kpps, b.offered_kpps)
+
+    def test_diurnal_cycle_visible(self):
+        model = TrafficModel(
+            base_kpps=100.0,
+            diurnal_amplitude=0.5,
+            period_epochs=100,
+            noise_sigma=0.0,
+            flash_crowd_rate=0.0,
+        )
+        trace = model.generate(100, random_state=0)
+        # peak / trough ratio ~ (1.5 / 0.5) = 3
+        ratio = trace.offered_kpps.max() / trace.offered_kpps.min()
+        assert ratio == pytest.approx(3.0, rel=0.05)
+
+    def test_no_diurnal_when_amplitude_zero(self):
+        model = TrafficModel(
+            diurnal_amplitude=0.0, noise_sigma=0.0, flash_crowd_rate=0.0
+        )
+        trace = model.generate(200, random_state=0)
+        np.testing.assert_allclose(trace.offered_kpps, model.base_kpps)
+
+    def test_flash_crowds_create_spikes(self):
+        calm = TrafficModel(flash_crowd_rate=0.0, noise_sigma=0.0)
+        stormy = TrafficModel(
+            flash_crowd_rate=0.05, flash_magnitude=3.0, noise_sigma=0.0
+        )
+        calm_trace = calm.generate(1000, random_state=3)
+        stormy_trace = stormy.generate(1000, random_state=3)
+        assert stormy_trace.offered_kpps.max() > 1.5 * calm_trace.offered_kpps.max()
+
+    def test_flows_track_load(self):
+        trace = TrafficModel(flash_crowd_rate=0.0).generate(1000, random_state=4)
+        corr = np.corrcoef(trace.offered_kpps, trace.active_kflows)[0, 1]
+        assert corr > 0.8
+
+    def test_scaled_trace(self):
+        trace = TrafficModel().generate(100, random_state=0)
+        doubled = trace.scaled(2.0)
+        np.testing.assert_allclose(doubled.offered_kpps, 2 * trace.offered_kpps)
+        np.testing.assert_allclose(doubled.burstiness, trace.burstiness)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="base_kpps"):
+            TrafficModel(base_kpps=0.0)
+        with pytest.raises(ValueError, match="diurnal_amplitude"):
+            TrafficModel(diurnal_amplitude=1.0)
+        with pytest.raises(ValueError, match="flash_crowd_rate"):
+            TrafficModel(flash_crowd_rate=1.5)
+        with pytest.raises(ValueError, match="flash_magnitude"):
+            TrafficModel(flash_magnitude=0.5)
+        with pytest.raises(ValueError, match="n_epochs"):
+            TrafficModel().generate(0)
+
+    def test_trace_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            TrafficTrace(
+                offered_kpps=np.ones(3),
+                active_kflows=np.ones(2),
+                burstiness=np.ones(3),
+            )

@@ -1,0 +1,85 @@
+"""Tests for repro.nfv.vnf."""
+
+import pytest
+
+from repro.nfv.vnf import VNF_CATALOG, VNFInstance, VNFProfile, vnf_profile
+
+
+class TestCatalog:
+    def test_expected_types_present(self):
+        for name in ("firewall", "nat", "ids", "dpi", "lb", "cache"):
+            assert name in VNF_CATALOG
+
+    def test_relative_costs_ordered(self):
+        """DPI must be the most expensive per packet, LB the cheapest of
+        the packet-processing set (relative-cost calibration)."""
+        assert (
+            VNF_CATALOG["dpi"].capacity_kpps_per_vcpu
+            < VNF_CATALOG["ids"].capacity_kpps_per_vcpu
+            < VNF_CATALOG["firewall"].capacity_kpps_per_vcpu
+            < VNF_CATALOG["lb"].capacity_kpps_per_vcpu
+        )
+
+    def test_lookup_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            vnf_profile("quantum_router")
+
+
+class TestVNFProfile:
+    def test_capacity_scales_with_vcpus(self):
+        fw = vnf_profile("firewall")
+        assert fw.capacity_kpps(2.0) == pytest.approx(2 * fw.capacity_kpps(1.0))
+
+    def test_capacity_scales_with_speed(self):
+        fw = vnf_profile("firewall")
+        assert fw.capacity_kpps(1.0, cpu_speed=1.5) == pytest.approx(
+            1.5 * fw.capacity_kpps(1.0)
+        )
+
+    def test_capacity_requires_positive_vcpus(self):
+        with pytest.raises(ValueError, match="vcpus"):
+            vnf_profile("nat").capacity_kpps(0.0)
+
+    def test_memory_grows_with_flows(self):
+        ids = vnf_profile("ids")
+        assert ids.memory_mb(100.0) > ids.memory_mb(10.0) > ids.memory_mb(0.0)
+        assert ids.memory_mb(0.0) == ids.mem_base_mb
+
+    def test_memory_rejects_negative_flows(self):
+        with pytest.raises(ValueError, match="active_kflows"):
+            vnf_profile("ids").memory_mb(-1.0)
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            VNFProfile(
+                name="broken",
+                capacity_kpps_per_vcpu=0.0,
+                base_latency_us=1.0,
+                mem_base_mb=1.0,
+                mem_per_kflow_mb=0.1,
+            )
+
+
+class TestVNFInstance:
+    def test_construct_from_name(self):
+        inst = VNFInstance("firewall", vcpus=2.0, mem_mb=1024.0, instance_id="fw0")
+        assert inst.vnf_type == "firewall"
+        assert inst.server_id is None
+
+    def test_construct_from_profile(self):
+        inst = VNFInstance(
+            vnf_profile("dpi"), vcpus=3.0, mem_mb=2048.0, instance_id="dpi0"
+        )
+        assert inst.vnf_type == "dpi"
+
+    def test_nominal_capacity(self):
+        inst = VNFInstance("lb", vcpus=2.0, mem_mb=512.0, instance_id="lb0")
+        assert inst.nominal_capacity_kpps() == pytest.approx(
+            2.0 * VNF_CATALOG["lb"].capacity_kpps_per_vcpu
+        )
+
+    def test_resource_validation(self):
+        with pytest.raises(ValueError, match="vcpus"):
+            VNFInstance("nat", vcpus=0.0, mem_mb=100.0, instance_id="x")
+        with pytest.raises(ValueError, match="mem_mb"):
+            VNFInstance("nat", vcpus=1.0, mem_mb=0.0, instance_id="x")

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.epochs == 2000
+
+    def test_train_model_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "svm"])
+
+
+class TestCommands:
+    def test_simulate_prints_summary(self, capsys):
+        code = main(["simulate", "--epochs", "300", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "violation rate" in out
+
+    def test_simulate_writes_npz(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.npz"
+        code = main(
+            ["simulate", "--epochs", "200", "--seed", "3", "--out", str(out_file)]
+        )
+        assert code == 0
+        data = np.load(out_file, allow_pickle=False)
+        assert data["features"].shape[0] == 200
+        assert len(data["feature_names"]) == data["features"].shape[1]
+        assert set(np.unique(data["sla_violation"])) <= {0, 1}
+
+    def test_train_reports_accuracy(self, capsys):
+        code = main(
+            ["train", "--epochs", "600", "--seed", "3",
+             "--model", "logistic_regression"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "test accuracy" in out
+
+    def test_explain_default_violation(self, capsys):
+        code = main(["explain", "--epochs", "600", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PREDICTION REPORT" in out
+        assert "per-VNF attribution" in out
+
+    def test_explain_bad_index(self, capsys):
+        code = main(
+            ["explain", "--epochs", "300", "--seed", "3",
+             "--epoch-index", "99999"]
+        )
+        assert code == 1
+
+    def test_validate_passes(self, capsys):
+        code = main(["validate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ok" in out
+        assert "FAIL" not in out

@@ -1,0 +1,165 @@
+"""Cross-module integration tests: the full paper workflow end to end.
+
+Each test walks a complete path a user of the library would take —
+simulate, learn, explain, evaluate — and asserts the *scientific*
+properties the paper claims, not just that code runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NFVExplainabilityPipeline, RootCauseEvaluator
+from repro.core.evaluation import faithfulness_report
+from repro.core.explainers import (
+    KernelShapExplainer,
+    LimeExplainer,
+    TreeShapExplainer,
+    model_output_fn,
+)
+from repro.core.rootcause import rank_vnfs, vnf_attribution_scores
+from repro.datasets import make_root_cause_dataset, make_sla_violation_dataset
+from repro.ml import RandomForestClassifier
+from repro.ml.metrics import roc_auc_score
+from repro.ml.model_selection import train_test_split
+
+
+
+class TestSlaWorkflow:
+    def test_model_learns_violations_with_auc(self, sla_dataset, sla_split, fitted_rf):
+        _, X_test, _, y_test = sla_split
+        scores = fitted_rf.predict_proba(X_test)[:, 1]
+        assert roc_auc_score(y_test, scores) > 0.9
+
+    def test_treeshap_explains_violation_with_relevant_signals(
+        self, sla_dataset, fitted_rf
+    ):
+        """For a violating epoch, the top attributed features should be
+        load/queue/drop signals — not the time-of-day encoding."""
+        explainer = TreeShapExplainer(
+            fitted_rf, sla_dataset.feature_names, class_index=1
+        )
+        violations = np.flatnonzero(sla_dataset.y == 1)[:5]
+        for row in violations:
+            e = explainer.explain(sla_dataset.X.values[row])
+            top_names = [name for name, _ in e.top_features(3)]
+            assert not any(name.startswith("tod_") for name in top_names)
+
+    def test_explainer_agreement_on_violations(self, sla_dataset, fitted_rf):
+        """TreeSHAP and KernelSHAP should broadly agree on rankings even
+        though their value functions differ."""
+        from repro.core.evaluation import spearman_correlation
+
+        fn = model_output_fn(fitted_rf)
+        background = sla_dataset.X.values[:60]
+        tree = TreeShapExplainer(fitted_rf, class_index=1)
+        kernel = KernelShapExplainer(
+            fn, background, n_samples=400, random_state=0
+        )
+        x = sla_dataset.X.values[np.flatnonzero(sla_dataset.y == 1)[0]]
+        rho = spearman_correlation(
+            tree.explain(x).values, kernel.explain(x).values
+        )
+        assert rho > 0.5
+
+    def test_faithfulness_beats_random(self, sla_dataset, fitted_rf):
+        """SHAP deletion curves must beat random deletion (E5's claim)."""
+        fn = model_output_fn(fitted_rf)
+        explainer = TreeShapExplainer(fitted_rf, class_index=1)
+        violations = np.flatnonzero(sla_dataset.y == 1)[:8]
+        X_rows = sla_dataset.X.values[violations]
+        attrs = [explainer.explain(x).values for x in X_rows]
+        baseline = sla_dataset.X.values.mean(axis=0)
+        report = faithfulness_report(fn, X_rows, attrs, baseline, random_state=0)
+        assert report["deletion_auc"] > report["random_deletion_auc"]
+
+
+class TestPipelineWorkflow:
+    def test_full_pipeline_with_lime(self, sla_dataset):
+        pipe = NFVExplainabilityPipeline(
+            RandomForestClassifier(n_estimators=15, max_depth=6, random_state=0),
+            explainer_method="lime",
+            explainer_kwargs={"n_samples": 150, "random_state": 0},
+            random_state=0,
+        ).fit(sla_dataset)
+        diagnosis = pipe.diagnose(sla_dataset.X.values[3])
+        assert len(diagnosis.vnf_ranking) == 5
+
+    def test_full_pipeline_auto(self, sla_dataset):
+        pipe = NFVExplainabilityPipeline(
+            RandomForestClassifier(n_estimators=15, max_depth=6, random_state=0),
+            explainer_method="auto",
+            random_state=0,
+        ).fit(sla_dataset)
+        assert isinstance(pipe.explainer_, TreeShapExplainer)
+        assert pipe.test_score_ > 0.85
+
+
+class TestRootCauseWorkflow:
+    @pytest.fixture(scope="class")
+    def rc_setup(self):
+        ds = make_root_cause_dataset(n_epochs=2500, random_state=31)
+        # train a violation model on the same telemetry to explain
+        sla = make_sla_violation_dataset(n_epochs=2500, random_state=31)
+        model = RandomForestClassifier(
+            n_estimators=30, max_depth=8, random_state=0
+        ).fit(sla.X.values, sla.y)
+        return ds, model
+
+    def test_attribution_localizes_faults_better_than_random(self, rc_setup):
+        """The paper's use case: per-VNF aggregated SHAP beats random
+        ranking at localizing the injected fault."""
+        ds, model = rc_setup
+        explainer = TreeShapExplainer(model, ds.feature_names, class_index=1)
+        evaluator = RootCauseEvaluator(n_vnfs=5, ks=(1, 2))
+
+        incidents, culprits = [], []
+        for i in range(len(ds.y)):
+            cs = ds.culprits_for_sample(i)
+            if cs:
+                incidents.append(ds.X.values[i])
+                culprits.append(cs)
+            if len(incidents) >= 40:
+                break
+        assert len(incidents) >= 10
+
+        report = evaluator.evaluate_explainer(
+            explainer, np.asarray(incidents), culprits
+        )
+        random_report = evaluator.random_baseline(
+            culprits, n_repeats=20, random_state=0
+        )
+        assert report.hits[1] > random_report.hits[1]
+        assert report.hits[2] > random_report.hits[2]
+
+    def test_root_cause_classifier_learnable(self, rc_setup):
+        """A classifier can also learn fault kinds directly."""
+        ds, _ = rc_setup
+        X_tr, X_te, y_tr, y_te = train_test_split(
+            ds.X.values, ds.y, test_size=0.3, random_state=0, stratify=ds.y
+        )
+        model = RandomForestClassifier(
+            n_estimators=30, max_depth=10, random_state=0
+        ).fit(X_tr, y_tr)
+        accuracy = model.score(X_te, y_te)
+        majority = max(np.mean(y_te == c) for c in np.unique(y_te))
+        assert accuracy > majority + 0.1
+
+    def test_memory_leak_blames_memory(self, rc_setup):
+        """For memory-leak incidents the dominant resource should be
+        mem_util on the culprit VNF at least sometimes — checks the
+        semantic link between fault physics and attributions."""
+        ds, model = rc_setup
+        explainer = TreeShapExplainer(model, ds.feature_names, class_index=1)
+        leak_rows = [
+            i for i in range(len(ds.y)) if ds.y[i] == "memory_leak"
+        ][:10]
+        if len(leak_rows) < 3:
+            pytest.skip("too few memory-leak incidents in this draw")
+        hits = 0
+        for i in leak_rows:
+            e = explainer.explain(ds.X.values[i])
+            culprit = ds.culprits_for_sample(i)[0]
+            scores = vnf_attribution_scores(e)
+            if rank_vnfs(scores)[0] == culprit:
+                hits += 1
+        assert hits >= 1

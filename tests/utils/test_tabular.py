@@ -1,0 +1,68 @@
+"""Tests for repro.utils.tabular.FeatureMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.utils.tabular import FeatureMatrix
+
+
+@pytest.fixture
+def fm():
+    return FeatureMatrix(
+        np.arange(12, dtype=float).reshape(4, 3), ["a", "b", "c"]
+    )
+
+
+class TestConstruction:
+    def test_shape_properties(self, fm):
+        assert fm.n_samples == 4
+        assert fm.n_features == 3
+        assert fm.shape == (4, 3)
+        assert len(fm) == 4
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(ValueError, match="feature names"):
+            FeatureMatrix(np.zeros((2, 3)), ["a", "b"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FeatureMatrix(np.zeros((2, 2)), ["a", "a"])
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            FeatureMatrix(np.zeros(3), ["a", "b", "c"])
+
+
+class TestAccess:
+    def test_column(self, fm):
+        np.testing.assert_array_equal(fm.column("b"), [1.0, 4.0, 7.0, 10.0])
+
+    def test_column_unknown(self, fm):
+        with pytest.raises(KeyError, match="unknown feature"):
+            fm.column("zzz")
+
+    def test_column_index(self, fm):
+        assert fm.column_index("c") == 2
+
+    def test_select_preserves_order(self, fm):
+        sub = fm.select(["c", "a"])
+        assert sub.feature_names == ["c", "a"]
+        np.testing.assert_array_equal(sub.values[:, 0], fm.column("c"))
+
+    def test_take_rows(self, fm):
+        sub = fm.take([0, 2])
+        assert sub.n_samples == 2
+        np.testing.assert_array_equal(sub.values[1], fm.values[2])
+
+    def test_take_boolean_mask(self, fm):
+        mask = np.array([True, False, True, False])
+        assert fm.take(mask).n_samples == 2
+
+    def test_with_row(self, fm):
+        row = fm.with_row([9.0, 9.0, 9.0])
+        assert row.n_samples == 1
+        assert row.feature_names == fm.feature_names
+
+    def test_with_row_wrong_width(self, fm):
+        with pytest.raises(ValueError, match="expected 3"):
+            fm.with_row([1.0, 2.0])

@@ -1,0 +1,102 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    NotFittedError,
+    check_array,
+    check_consistent_length,
+    check_fitted,
+    check_X_y,
+)
+
+
+class TestCheckArray:
+    def test_valid_2d(self):
+        out = check_array([[1.0, 2.0], [3.0, 4.0]])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array([1.0, 2.0])
+
+    def test_1d_allowed_when_requested(self):
+        out = check_array([1.0, 2.0], ndim=1)
+        assert out.shape == (2,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_array(np.empty((0, 3)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([[1.0, np.nan]])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_array([[np.inf, 1.0]])
+
+    def test_nan_allowed_when_requested(self):
+        out = check_array([[1.0, np.nan]], allow_nan=True)
+        assert np.isnan(out[0, 1])
+
+    def test_name_in_error(self):
+        with pytest.raises(ValueError, match="my_input"):
+            check_array([1.0], name="my_input")
+
+
+class TestCheckConsistentLength:
+    def test_consistent_passes(self):
+        check_consistent_length([1, 2], [3, 4], np.zeros((2, 5)))
+
+    def test_inconsistent_raises(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            check_consistent_length([1, 2], [3])
+
+    def test_none_ignored(self):
+        check_consistent_length([1, 2], None, [3, 4])
+
+
+class TestCheckXy:
+    def test_basic(self):
+        X, y = check_X_y([[1.0, 2.0], [3.0, 4.0]], [0, 1])
+        assert X.shape == (2, 2)
+        assert y.shape == (2,)
+
+    def test_column_vector_flattened(self):
+        _, y = check_X_y([[1.0], [2.0]], [[0], [1]])
+        assert y.ndim == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_X_y([[1.0], [2.0]], [0, 1, 2])
+
+    def test_y_numeric_nan_rejected(self):
+        with pytest.raises(ValueError, match="y contains"):
+            check_X_y([[1.0], [2.0]], [0.0, np.nan], y_numeric=True)
+
+    def test_2d_y_rejected(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_X_y([[1.0], [2.0]], [[0, 1], [1, 0]])
+
+
+class TestCheckFitted:
+    class Dummy:
+        coef_ = None
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError, match="fit"):
+            check_fitted(self.Dummy(), "coef_")
+
+    def test_fitted_passes(self):
+        model = self.Dummy()
+        model.coef_ = np.ones(3)
+        check_fitted(model, "coef_")
+
+    def test_list_of_attributes(self):
+        model = self.Dummy()
+        model.coef_ = np.ones(3)
+        with pytest.raises(NotFittedError):
+            check_fitted(model, ["coef_", "intercept_"])
