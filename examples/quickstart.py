@@ -38,7 +38,17 @@ def main() -> None:
     print()
     print(pipeline.report(x))
 
-    # 4. Dataset-level view: which signals drive violations overall?
+    # 4. Fleet triage: diagnose a whole batch of violations in one
+    #    vectorized pass (shared coalition design + background
+    #    evaluation — see docs/explainers.md).
+    fleet = dataset.X.values[violations[:10]]
+    print("\nfleet triage (diagnose_batch over 10 violations):")
+    for epoch, diagnosis in zip(violations[:10], pipeline.diagnose_batch(fleet)):
+        print(f"  epoch {epoch:>5}: p={diagnosis.prediction:.2f} "
+              f"suspect=vnf{diagnosis.primary_suspect} "
+              f"resource={diagnosis.primary_resource}")
+
+    # 5. Dataset-level view: which signals drive violations overall?
     from repro.core.report import format_global_report
 
     print()

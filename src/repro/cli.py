@@ -1,16 +1,20 @@
 """Command-line interface.
 
-Four subcommands mirror the library's workflow::
+Five subcommands mirror the library's workflow::
 
-    python -m repro.cli simulate --epochs 2000 --seed 7 --out trace.npz
-    python -m repro.cli train    --epochs 3000 --seed 7 --model random_forest
-    python -m repro.cli explain  --epochs 3000 --seed 7 --epoch-index 42
-    python -m repro.cli validate
+    repro simulate      --epochs 2000 --seed 7 --out trace.npz
+    repro train         --epochs 3000 --seed 7 --model random_forest
+    repro explain       --epochs 3000 --seed 7 --epoch-index 42
+    repro explain-batch --epochs 3000 --seed 7 --limit 32
+    repro validate
 
-``simulate`` writes the raw telemetry + labels to an ``.npz`` archive;
-``train`` reports model quality on a held-out split; ``explain``
-prints the operator report for one epoch; ``validate`` runs the
-explainers against closed-form ground truth (a smoke test for
+(``python -m repro.cli ...`` works identically without installing the
+console script.)  ``simulate`` writes the raw telemetry + labels to an
+``.npz`` archive; ``train`` reports model quality on a held-out split;
+``explain`` prints the operator report for one epoch; ``explain-batch``
+diagnoses many epochs in one vectorized pass (shared coalition design
+and background evaluation — the fleet-triage fast path); ``validate``
+runs the explainers against closed-form ground truth (a smoke test for
 installations).
 """
 
@@ -77,6 +81,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument("--top-k", type=int, default=5)
 
+    batch = sub.add_parser(
+        "explain-batch",
+        help="diagnose many epochs in one vectorized pass",
+    )
+    batch.add_argument("--epochs", type=int, default=3000)
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument(
+        "--epoch-indices", default=None,
+        help="comma-separated epochs to diagnose "
+             "(default: every violation, capped by --limit)",
+    )
+    batch.add_argument(
+        "--limit", type=int, default=32,
+        help="cap on auto-selected violation epochs (default 32)",
+    )
+    batch.add_argument(
+        "--method", default="auto",
+        help="explainer (auto, tree_shap, kernel_shap, lime, ...)",
+    )
+    batch.add_argument("--top-k", type=int, default=3)
+
     sub.add_parser("validate", help="check explainers vs ground truth")
     return parser
 
@@ -125,7 +150,9 @@ def _cmd_train(args) -> int:
     return 0
 
 
-def _cmd_explain(args) -> int:
+def _fit_explain_pipeline(args):
+    """The reference forest + explainer pipeline shared by the explain
+    and explain-batch commands; returns ``(dataset, fitted pipeline)``."""
     from repro.core import NFVExplainabilityPipeline
     from repro.ml import RandomForestClassifier
 
@@ -135,6 +162,11 @@ def _cmd_explain(args) -> int:
         explainer_method=args.method,
         random_state=args.seed,
     ).fit(dataset)
+    return dataset, pipeline
+
+
+def _cmd_explain(args) -> int:
+    dataset, pipeline = _fit_explain_pipeline(args)
     index = args.epoch_index
     if index is None:
         violations = np.flatnonzero(dataset.y == 1)
@@ -148,6 +180,64 @@ def _cmd_explain(args) -> int:
     print(f"epoch {index} (label: "
           f"{'violation' if dataset.y[index] else 'ok'})")
     print(pipeline.report(dataset.X.values[index], top_k=args.top_k))
+    return 0
+
+
+def _cmd_explain_batch(args) -> int:
+    import time
+
+    dataset, pipeline = _fit_explain_pipeline(args)
+
+    if args.epoch_indices:
+        try:
+            indices = [int(tok) for tok in args.epoch_indices.split(",") if tok.strip()]
+        except ValueError:
+            print(f"bad --epoch-indices {args.epoch_indices!r}")
+            return 1
+        bad = [i for i in indices if not 0 <= i < len(dataset.y)]
+        if bad:
+            print(f"epoch indices out of range [0, {len(dataset.y)}): {bad}")
+            return 1
+    else:
+        indices = np.flatnonzero(dataset.y == 1)[: max(0, args.limit)].tolist()
+        if not indices:
+            print("no violations in this trace; pass --epoch-indices")
+            return 1
+
+    X = dataset.X.values[indices]
+    start = time.perf_counter()
+    diagnoses = pipeline.diagnose_batch(X)
+    elapsed = time.perf_counter() - start
+
+    chain = pipeline.chain_
+    print(f"{'epoch':>6} {'score':>7} {'alert':>6} {'vnf':>12} "
+          f"{'resource':>10}  top features")
+    for index, diagnosis in zip(indices, diagnoses):
+        suspect = diagnosis.primary_suspect
+        if suspect is None:
+            vnf = "-"
+        elif chain is not None and suspect < len(chain.instances):
+            vnf = f"{suspect}:{chain.instances[suspect].vnf_type}"
+        else:
+            vnf = f"vnf{suspect}"
+        resource = diagnosis.primary_resource or "-"
+        top = ", ".join(
+            f"{name}={value:+.3f}"
+            for name, value in diagnosis.explanation.top_features(args.top_k)
+        )
+        print(f"{index:>6} {diagnosis.prediction:>7.3f} "
+              f"{'YES' if diagnosis.alert else 'no':>6} {vnf:>12} "
+              f"{resource:>10}  {top}")
+    from repro.core.explainers import Explainer
+
+    vectorized = (
+        type(pipeline.explainer_).explain_batch is not Explainer.explain_batch
+    )
+    mode = "vectorized batch path" if vectorized else "per-sample fallback"
+    n_alerts = sum(d.alert for d in diagnoses)
+    print(f"\ndiagnosed {len(diagnoses)} epochs ({n_alerts} alerts) "
+          f"in {elapsed:.2f}s — {mode}, "
+          f"method={pipeline.explainer_.method_name}")
     return 0
 
 
@@ -190,6 +280,7 @@ def main(argv=None) -> int:
         "simulate": _cmd_simulate,
         "train": _cmd_train,
         "explain": _cmd_explain,
+        "explain-batch": _cmd_explain_batch,
         "validate": _cmd_validate,
     }
     return handlers[args.command](args)

@@ -11,7 +11,9 @@
   attributions into per-VNF / per-resource diagnoses for operators.
 """
 
+from repro.core.cache import cache_stats, clear_cache, get_cache
 from repro.core.explainers import (
+    BatchExplanation,
     CounterfactualExplainer,
     ExactShapleyExplainer,
     Explanation,
@@ -33,9 +35,13 @@ from repro.core.pipeline import NFVDiagnosis, NFVExplainabilityPipeline
 from repro.core.rootcause import RootCauseEvaluator, vnf_attribution_scores
 
 __all__ = [
+    "BatchExplanation",
+    "cache_stats",
+    "clear_cache",
     "CounterfactualExplainer",
     "ExactShapleyExplainer",
     "Explanation",
+    "get_cache",
     "GlobalExplanation",
     "IntegratedGradientsExplainer",
     "InterventionalTreeShapExplainer",

@@ -1,0 +1,203 @@
+"""Memoization for the hot, re-payable parts of explanation.
+
+Two costs dominate repeated explanation of the same model:
+
+* **Background predictions** — every SHAP-family explainer starts by
+  evaluating the model over its background dataset to get the expected
+  value.  Building several explainers (or re-building one per incident)
+  re-pays that model sweep each time.
+* **Coalition designs** — KernelSHAP's enumeration of coalition masks
+  and kernel weights is pure Python combinatorics; it depends only on
+  the feature dimension and sampling configuration, never on the
+  explained instance.
+
+Both are memoized here, keyed and validated so a hit is safe:
+
+* background predictions are keyed by the *identity* of the predict
+  function (held weakly, so a collected model can never alias a new
+  one) plus a content fingerprint of the background array; because a
+  model can be refit *in place* behind the same predict function,
+  every hit is spot-checked by re-predicting the first/middle/last
+  background rows and the entry is recomputed on any mismatch (a
+  refit that coincides with the old model on all three probe rows is
+  undetectable — refit models should get a fresh predict function);
+* coalition designs are keyed by ``(d, n_samples, paired, seed)`` and
+  cached only for deterministic integer seeds — a live ``Generator``
+  must advance, so those requests bypass the cache.
+
+The module-level singleton is what the explainers use; call
+:func:`clear_cache` between unrelated experiments if you want cold
+timings, and :func:`cache_stats` to see hit rates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = [
+    "ExplainerCache",
+    "array_fingerprint",
+    "background_predictions",
+    "cache_stats",
+    "clear_cache",
+    "coalition_design",
+    "get_cache",
+]
+
+
+def array_fingerprint(a) -> str:
+    """Content hash of an array (dtype, shape, and bytes).
+
+    Two arrays share a fingerprint iff they are element-wise identical,
+    so cache hits can never return results for different data.
+    """
+    a = np.ascontiguousarray(a)
+    digest = hashlib.sha1()
+    digest.update(str(a.dtype).encode())
+    digest.update(str(a.shape).encode())
+    digest.update(a.tobytes())
+    return digest.hexdigest()
+
+
+class ExplainerCache:
+    """LRU caches for background predictions and coalition designs.
+
+    Parameters
+    ----------
+    max_backgrounds:
+        Distinct ``(predict_fn, background)`` prediction vectors kept
+        per predict function.
+    max_designs:
+        Distinct coalition designs kept across all explainers.
+    """
+
+    def __init__(self, *, max_backgrounds: int = 32, max_designs: int = 64):
+        if max_backgrounds < 1 or max_designs < 1:
+            raise ValueError("cache sizes must be >= 1")
+        self.max_backgrounds = int(max_backgrounds)
+        self.max_designs = int(max_designs)
+        # predict_fn (weak) -> OrderedDict[fingerprint -> predictions]
+        self._backgrounds: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._designs: OrderedDict[tuple, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- background predictions ---------------------------------------
+    def background_predictions(self, predict_fn, background) -> np.ndarray:
+        """``predict_fn(background)`` memoized by function identity and
+        background content.  Returns a read-only 1-D float array.
+
+        Hits are spot-checked by re-predicting the first, middle, and
+        last background rows: if the model behind ``predict_fn`` was
+        refit in place (same function object, new behaviour), any
+        mismatch discards the entry instead of serving stale
+        predictions.  A refit that coincides with the old model on all
+        three probe rows is undetectable — build a fresh predict
+        function for a refit model to be certain.
+        """
+        background = np.asarray(background, dtype=float)
+        try:
+            per_fn = self._backgrounds.get(predict_fn)
+        except TypeError:  # not weak-referenceable -> skip the cache
+            self.misses += 1
+            return np.asarray(predict_fn(background), dtype=float)
+        key = array_fingerprint(background)
+        if per_fn is not None and key in per_fn:
+            cached = per_fn[key]
+            if len(background) == 0:
+                self.hits += 1
+                return cached
+            idx = sorted({0, len(background) // 2, len(background) - 1})
+            probe = np.asarray(predict_fn(background[idx]), dtype=float)
+            if probe.shape == cached[idx].shape and np.array_equal(
+                probe, cached[idx]
+            ):
+                self.hits += 1
+                per_fn.move_to_end(key)
+                return cached
+            del per_fn[key]  # model changed behind the function
+        self.misses += 1
+        preds = np.asarray(predict_fn(background), dtype=float).copy()
+        preds.flags.writeable = False
+        if per_fn is None:
+            per_fn = OrderedDict()
+            self._backgrounds[predict_fn] = per_fn
+        per_fn[key] = preds
+        while len(per_fn) > self.max_backgrounds:
+            per_fn.popitem(last=False)
+        return preds
+
+    # -- coalition designs --------------------------------------------
+    def coalition_design(self, key: tuple, build_fn):
+        """Memoize ``build_fn() -> (masks, weights)`` under ``key``.
+
+        ``key`` must fully determine the design (feature dimension,
+        sample budget, pairing, integer seed).  Arrays are stored
+        read-only and shared between callers.
+        """
+        if key in self._designs:
+            self.hits += 1
+            self._designs.move_to_end(key)
+            return self._designs[key]
+        self.misses += 1
+        masks, weights = build_fn()
+        masks = np.asarray(masks)
+        weights = np.asarray(weights, dtype=float)
+        masks.flags.writeable = False
+        weights.flags.writeable = False
+        self._designs[key] = (masks, weights)
+        while len(self._designs) > self.max_designs:
+            self._designs.popitem(last=False)
+        return masks, weights
+
+    # -- bookkeeping ---------------------------------------------------
+    def clear(self) -> None:
+        """Drop every cached entry and reset the hit/miss counters."""
+        self._backgrounds.clear()
+        self._designs.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        """Hit/miss counters and current entry counts."""
+        n_bg = sum(len(d) for d in self._backgrounds.values())
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "background_entries": n_bg,
+            "design_entries": len(self._designs),
+        }
+
+
+_GLOBAL_CACHE = ExplainerCache()
+
+
+def get_cache() -> ExplainerCache:
+    """The process-wide cache shared by all explainers."""
+    return _GLOBAL_CACHE
+
+
+def background_predictions(predict_fn, background) -> np.ndarray:
+    """Module-level shortcut to the global cache."""
+    return _GLOBAL_CACHE.background_predictions(predict_fn, background)
+
+
+def coalition_design(key: tuple, build_fn):
+    """Module-level shortcut to the global cache."""
+    return _GLOBAL_CACHE.coalition_design(key, build_fn)
+
+
+def clear_cache() -> None:
+    """Reset the global cache (useful between timed experiments)."""
+    _GLOBAL_CACHE.clear()
+
+
+def cache_stats() -> dict:
+    """Hit/miss statistics of the global cache."""
+    return _GLOBAL_CACHE.stats()

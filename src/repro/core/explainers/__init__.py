@@ -4,10 +4,18 @@ Local attribution:
 
 * :class:`ExactShapleyExplainer` — brute-force reference (d <= 15).
 * :class:`KernelShapExplainer` — model-agnostic sampled Shapley.
+* :class:`SamplingShapleyExplainer` — permutation-sampling Shapley.
 * :class:`TreeShapExplainer` — exact, polynomial-time for tree models.
 * :class:`LinearShapExplainer` — closed form for linear models.
+* :class:`IntegratedGradientsExplainer` — path gradients for MLPs.
 * :class:`LimeExplainer` — local ridge surrogates.
 * :class:`CounterfactualExplainer` — minimal actionable changes.
+
+Every local explainer offers ``explain(x)`` for one instance and
+``explain_batch(X)`` returning a :class:`BatchExplanation`; the
+sampling explainers override the batch path with a vectorized engine
+that shares coalition designs / permutations / perturbations across
+rows and stacks all model evaluations (see ``docs/explainers.md``).
 
 Global views:
 
@@ -17,6 +25,7 @@ Global views:
 """
 
 from repro.core.explainers.base import (
+    BatchExplanation,
     Explainer,
     Explanation,
     GlobalExplanation,
@@ -38,6 +47,7 @@ from repro.core.explainers.shap_tree_interventional import (
 from repro.core.explainers.surrogate import SurrogateTreeExplainer
 
 __all__ = [
+    "BatchExplanation",
     "Counterfactual",
     "CounterfactualExplainer",
     "ExactShapleyExplainer",

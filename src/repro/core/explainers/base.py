@@ -6,7 +6,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Explanation", "GlobalExplanation", "Explainer", "model_output_fn"]
+__all__ = [
+    "BatchExplanation",
+    "Explanation",
+    "GlobalExplanation",
+    "Explainer",
+    "model_output_fn",
+]
 
 
 @dataclass
@@ -116,12 +122,166 @@ class GlobalExplanation:
         return dict(zip(self.feature_names, map(float, self.importances)))
 
 
+@dataclass
+class BatchExplanation:
+    """Attributions for a whole batch of instances, stored as matrices.
+
+    The vectorized counterpart of :class:`Explanation`: one explainer
+    call over ``n`` rows yields an ``(n, d)`` attribution matrix instead
+    of ``n`` separate objects, so downstream consumers (global
+    importance, per-VNF aggregation, reporting) can stay in numpy.
+
+    Attributes
+    ----------
+    feature_names:
+        One name per feature (column of ``values``).
+    values:
+        ``(n_samples, n_features)`` signed attributions.
+    base_values:
+        Per-sample explainer reference output, shape ``(n_samples,)``.
+    predictions:
+        Per-sample model output, shape ``(n_samples,)``.
+    X:
+        The explained instances, shape ``(n_samples, n_features)``.
+    method:
+        Explainer name (``"kernel_shap"``, ``"lime"``, ...).
+    extras:
+        Batch-level diagnostics shared by all samples.
+    sample_extras:
+        Optional per-sample diagnostics (one dict per row).
+
+    Iterating or indexing materializes per-sample :class:`Explanation`
+    views, so a ``BatchExplanation`` drops into any code written for
+    ``list[Explanation]``.
+    """
+
+    feature_names: list[str]
+    values: np.ndarray
+    base_values: np.ndarray
+    predictions: np.ndarray
+    X: np.ndarray
+    method: str
+    extras: dict = field(default_factory=dict)
+    sample_extras: list[dict] | None = None
+
+    def __post_init__(self):
+        self.values = np.atleast_2d(np.asarray(self.values, dtype=float))
+        self.base_values = np.asarray(self.base_values, dtype=float).ravel()
+        self.predictions = np.asarray(self.predictions, dtype=float).ravel()
+        self.X = np.atleast_2d(np.asarray(self.X, dtype=float))
+        n, d = self.values.shape
+        if len(self.feature_names) != d:
+            raise ValueError(
+                f"{len(self.feature_names)} names for {d} attribution columns"
+            )
+        if self.X.shape != (n, d) and not (n == 0 and self.X.size == 0):
+            raise ValueError(
+                f"X has shape {self.X.shape}, expected {(n, d)}"
+            )
+        if len(self.base_values) != n or len(self.predictions) != n:
+            raise ValueError(
+                f"{len(self.base_values)} base values and "
+                f"{len(self.predictions)} predictions for {n} samples"
+            )
+        if self.sample_extras is not None and len(self.sample_extras) != n:
+            raise ValueError(
+                f"{len(self.sample_extras)} sample_extras for {n} samples"
+            )
+
+    @classmethod
+    def from_explanations(cls, explanations, *, method=None) -> "BatchExplanation":
+        """Stack per-sample :class:`Explanation` objects into one batch."""
+        explanations = list(explanations)
+        if not explanations:
+            raise ValueError(
+                "cannot build a BatchExplanation from zero explanations "
+                "without feature names; construct one directly"
+            )
+        first = explanations[0]
+        return cls(
+            feature_names=first.feature_names,
+            values=np.vstack([e.values for e in explanations]),
+            base_values=np.array([e.base_value for e in explanations]),
+            predictions=np.array([e.prediction for e in explanations]),
+            X=np.vstack([e.x for e in explanations]),
+            method=method if method is not None else first.method,
+            sample_extras=[e.extras for e in explanations],
+        )
+
+    @property
+    def n_samples(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.values.shape[1]
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def __getitem__(self, index) -> "Explanation | list[Explanation]":
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self.n_samples))]
+        index = int(index)
+        if index < 0:
+            index += self.n_samples
+        if not 0 <= index < self.n_samples:
+            raise IndexError(
+                f"sample {index} out of range for {self.n_samples} samples"
+            )
+        extras = dict(self.extras)
+        if self.sample_extras is not None:
+            extras.update(self.sample_extras[index])
+        return Explanation(
+            feature_names=self.feature_names,
+            values=self.values[index],
+            base_value=float(self.base_values[index]),
+            prediction=float(self.predictions[index]),
+            x=self.X[index],
+            method=self.method,
+            extras=extras,
+        )
+
+    def __iter__(self):
+        return (self[i] for i in range(self.n_samples))
+
+    def to_list(self) -> list[Explanation]:
+        """Materialize every sample as an :class:`Explanation`."""
+        return list(self)
+
+    def additivity_gaps(self) -> np.ndarray:
+        """Per-sample ``|base + sum(values) - prediction|``."""
+        return np.abs(
+            self.base_values + self.values.sum(axis=1) - self.predictions
+        )
+
+    def global_importance(self) -> GlobalExplanation:
+        """Mean |attribution| per feature over the batch."""
+        if self.n_samples == 0:
+            raise ValueError("cannot summarize an empty batch")
+        return GlobalExplanation(
+            feature_names=self.feature_names,
+            importances=np.abs(self.values).mean(axis=0),
+            method=f"mean_abs_{self.method}",
+            extras={"n_samples": self.n_samples},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"BatchExplanation(method={self.method!r}, "
+            f"n_samples={self.n_samples}, n_features={self.n_features})"
+        )
+
+
 class Explainer:
     """Interface all local explainers implement.
 
     Subclasses implement :meth:`explain` for one instance;
     :meth:`explain_batch` and :meth:`global_importance` have default
-    implementations built on it.
+    implementations built on it.  Explainers whose cost is dominated by
+    per-call setup (coalition enumeration, background evaluation,
+    perturbation sampling) override :meth:`explain_batch` with a truly
+    vectorized path that pays that setup once per batch.
     """
 
     method_name: str = "explainer"
@@ -129,25 +289,52 @@ class Explainer:
     def explain(self, x) -> Explanation:
         raise NotImplementedError
 
-    def explain_batch(self, X) -> list[Explanation]:
-        """Explain each row of ``X``."""
+    def _check_batch(self, X, expected_d: int | None = None) -> np.ndarray:
+        """Validate batch input: a float 2-D array (possibly 0 rows)
+        with ``expected_d`` feature columns when given."""
         X = np.asarray(X, dtype=float)
         if X.ndim != 2:
             raise ValueError(f"X must be 2-D, got shape {X.shape}")
-        return [self.explain(row) for row in X]
+        if expected_d is not None and X.shape[1] != expected_d:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {expected_d}"
+            )
+        return X
+
+    def _empty_batch(self, X: np.ndarray) -> BatchExplanation:
+        """A well-formed zero-sample batch for ``X`` of shape (0, d)."""
+        d = X.shape[1]
+        names = getattr(self, "feature_names", None)
+        names = list(names) if names else [f"x{i}" for i in range(d)]
+        if len(names) != d:
+            raise ValueError(f"X has {d} features, expected {len(names)}")
+        return BatchExplanation(
+            feature_names=names,
+            values=np.zeros((0, d)),
+            base_values=np.zeros(0),
+            predictions=np.zeros(0),
+            X=X,
+            method=self.method_name,
+            sample_extras=[],
+        )
+
+    def explain_batch(self, X) -> BatchExplanation:
+        """Explain each row of ``X``.
+
+        The base implementation loops over :meth:`explain`; vectorized
+        subclasses override it to share setup across rows.
+        """
+        X = self._check_batch(X)
+        if X.shape[0] == 0:
+            return self._empty_batch(X)
+        return BatchExplanation.from_explanations(
+            [self.explain(row) for row in X], method=self.method_name
+        )
 
     def global_importance(self, X) -> GlobalExplanation:
         """Mean |local attribution| over the rows of ``X`` — the standard
         SHAP-style global importance summary."""
-        explanations = self.explain_batch(X)
-        importances = np.mean(
-            [np.abs(e.values) for e in explanations], axis=0
-        )
-        return GlobalExplanation(
-            feature_names=explanations[0].feature_names,
-            importances=importances,
-            method=f"mean_abs_{self.method_name}",
-        )
+        return self.explain_batch(X).global_importance()
 
 
 def model_output_fn(model, *, output: str = "auto", class_index: int = 1):

@@ -17,11 +17,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.explainers.base import Explainer, Explanation
+from repro.core.explainers.base import BatchExplanation, Explainer, Explanation
 from repro.ml.linear import solve_weighted_ridge
 from repro.utils.rng import check_random_state
 
 __all__ = ["LimeExplainer"]
+
+#: Upper bound on rows per stacked model call when batching instances.
+_ROW_BUDGET = 32768
 
 
 class LimeExplainer(Explainer):
@@ -120,6 +123,24 @@ class LimeExplainer(Explainer):
         z_raw = z_std * self.std_ + self.mean_
         targets = np.asarray(self.predict_fn(z_raw), dtype=float)
 
+        phi, extras = self._fit_local_surrogate(x_std, z_std, targets)
+        prediction = float(targets[0])
+        return Explanation(
+            feature_names=self.feature_names,
+            values=phi,
+            base_value=prediction - float(phi.sum()),
+            prediction=prediction,
+            x=x,
+            method=self.method_name,
+            extras=extras,
+        )
+
+    def _fit_local_surrogate(
+        self, x_std: np.ndarray, z_std: np.ndarray, targets: np.ndarray
+    ) -> tuple[np.ndarray, dict]:
+        """Fit the weighted ridge surrogate around one standardized
+        instance and return ``(attributions, extras)``."""
+        d = len(x_std)
         distances = np.sqrt(np.sum((z_std - x_std) ** 2, axis=1))
         weights = np.exp(-(distances**2) / self.kernel_width**2)
 
@@ -137,21 +158,65 @@ class LimeExplainer(Explainer):
 
         fidelity = self._weighted_r2(z_std, targets, weights, coef, intercept)
         phi = coef * x_std
-        prediction = float(targets[0])
-        return Explanation(
+        extras = {
+            "fidelity_r2": fidelity,
+            "coefficients": coef,
+            "intercept": float(intercept),
+            "selected_features": selected,
+            "kernel_width": self.kernel_width,
+        }
+        return phi, extras
+
+    def explain_batch(self, X) -> BatchExplanation:
+        """Vectorized LIME over every row of ``X``.
+
+        One perturbation noise matrix is drawn and shared by all rows
+        (matching the per-sample RNG discipline for integer seeds), and
+        the black-box queries of many rows are stacked into large
+        ``predict_fn`` calls — the dominant cost.  Each row still gets
+        its own weighted ridge surrogate, fitted exactly as in
+        :meth:`explain`.
+        """
+        X = self._check_batch(X, len(self.mean_))
+        if X.shape[0] == 0:
+            return self._empty_batch(X)
+        n, d = X.shape
+        rng = check_random_state(self.random_state)
+        noise = rng.normal(
+            0.0, self.sampling_scale, size=(self.n_samples, d)
+        )
+        X_std = (X - self.mean_) / self.std_
+
+        values = np.empty((n, d))
+        base_values = np.empty(n)
+        predictions = np.empty(n)
+        sample_extras: list[dict] = []
+        chunk = max(1, _ROW_BUDGET // self.n_samples)
+        for start in range(0, n, chunk):
+            Xc = X_std[start : start + chunk]
+            z_std = Xc[:, None, :] + noise[None, :, :]
+            z_std[:, 0, :] = Xc  # always include the instance itself
+            z_raw = z_std * self.std_ + self.mean_
+            targets = np.asarray(
+                self.predict_fn(z_raw.reshape(-1, d)), dtype=float
+            ).reshape(len(Xc), self.n_samples)
+            for i in range(len(Xc)):
+                phi, extras = self._fit_local_surrogate(
+                    Xc[i], z_std[i], targets[i]
+                )
+                row = start + i
+                values[row] = phi
+                predictions[row] = targets[i, 0]
+                base_values[row] = predictions[row] - float(phi.sum())
+                sample_extras.append(extras)
+        return BatchExplanation(
             feature_names=self.feature_names,
-            values=phi,
-            base_value=prediction - float(phi.sum()),
-            prediction=prediction,
-            x=x,
+            values=values,
+            base_values=base_values,
+            predictions=predictions,
+            X=X,
             method=self.method_name,
-            extras={
-                "fidelity_r2": fidelity,
-                "coefficients": coef,
-                "intercept": float(intercept),
-                "selected_features": selected,
-                "kernel_width": self.kernel_width,
-            },
+            sample_extras=sample_extras,
         )
 
     @staticmethod

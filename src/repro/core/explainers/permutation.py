@@ -61,12 +61,16 @@ class PermutationImportance:
         rngs = spawn_rngs(check_random_state(self.random_state), d)
         drops = np.zeros((d, self.n_repeats))
         for j, rng in enumerate(rngs):
+            # stack all repeats of this feature's shuffle into one model
+            # call; only column j differs between the stacked copies
+            stacked = np.broadcast_to(X, (self.n_repeats, *X.shape)).copy()
             for r in range(self.n_repeats):
-                X_perm = X.copy()
-                X_perm[:, j] = rng.permutation(X_perm[:, j])
-                drops[j, r] = baseline - float(
-                    self.scoring(y, self.predict_fn(X_perm))
-                )
+                stacked[r, :, j] = rng.permutation(stacked[r, :, j])
+            preds = np.asarray(
+                self.predict_fn(stacked.reshape(-1, X.shape[1])), dtype=float
+            ).reshape(self.n_repeats, len(X))
+            for r in range(self.n_repeats):
+                drops[j, r] = baseline - float(self.scoring(y, preds[r]))
         return GlobalExplanation(
             feature_names=names,
             importances=drops.mean(axis=1),

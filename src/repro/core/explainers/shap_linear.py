@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.explainers.base import Explainer, Explanation
+from repro.core.explainers.base import BatchExplanation, Explainer, Explanation
 from repro.ml.linear import LinearRegression, LogisticRegression, RidgeRegression
 
 __all__ = ["LinearShapExplainer"]
@@ -86,5 +86,22 @@ class LinearShapExplainer(Explainer):
             base_value=self.expected_value_,
             prediction=prediction,
             x=x,
+            method=self.method_name,
+        )
+
+    def explain_batch(self, X) -> BatchExplanation:
+        """Closed-form LinearSHAP for every row at once:
+        ``phi = coef * (X - E[x])`` — a single broadcasted product."""
+        X = self._check_batch(X, len(self.coef_))
+        if X.shape[0] == 0:
+            return self._empty_batch(X)
+        phi = self.coef_ * (X - self.mean_)
+        predictions = X @ self.coef_ + self.intercept_
+        return BatchExplanation(
+            feature_names=self.feature_names,
+            values=phi,
+            base_values=np.full(len(X), self.expected_value_),
+            predictions=predictions,
+            X=X,
             method=self.method_name,
         )

@@ -163,12 +163,10 @@ class NFVExplainabilityPipeline:
             raise RuntimeError("pipeline is not fitted; call fit(dataset) first")
 
     # ------------------------------------------------------------------
-    def diagnose(self, x, *, aggregation: str = "abs") -> NFVDiagnosis:
-        """Explain one telemetry sample and resolve it to NFV concepts."""
-        self._check_fitted()
-        x = np.asarray(x, dtype=float).ravel()
-        explanation = self.explainer_.explain(x)
-        score = float(self._score_fn(x.reshape(1, -1))[0])
+    def _resolve(
+        self, explanation, score: float, aggregation: str
+    ) -> NFVDiagnosis:
+        """Turn one explanation + model score into an NFV diagnosis."""
         vnf_scores = vnf_attribution_scores(explanation, aggregation=aggregation)
         resource_scores: dict[str, float] = {}
         for name, value in zip(explanation.feature_names, explanation.values):
@@ -188,6 +186,38 @@ class NFVExplainabilityPipeline:
             vnf_ranking=rank_vnfs(vnf_scores),
             resource_scores=resource_scores,
         )
+
+    def diagnose(self, x, *, aggregation: str = "abs") -> NFVDiagnosis:
+        """Explain one telemetry sample and resolve it to NFV concepts."""
+        self._check_fitted()
+        x = np.asarray(x, dtype=float).ravel()
+        explanation = self.explainer_.explain(x)
+        score = float(self._score_fn(x.reshape(1, -1))[0])
+        return self._resolve(explanation, score, aggregation)
+
+    def diagnose_batch(
+        self, X, *, aggregation: str = "abs"
+    ) -> list[NFVDiagnosis]:
+        """Diagnose every row of ``X`` in one vectorized pass.
+
+        The explainer's :meth:`~repro.core.explainers.Explainer.explain_batch`
+        shares the coalition design and background evaluation across all
+        rows, and the model is scored once for the whole batch — the
+        fleet-diagnosis fast path (≥3× over a per-sample loop for
+        KernelSHAP at 64 samples; see ``benchmarks/bench_e2_overhead.py``).
+        """
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] == 0:
+            return []
+        batch = self.explainer_.explain_batch(X)
+        scores = np.asarray(self._score_fn(X), dtype=float)
+        return [
+            self._resolve(explanation, float(score), aggregation)
+            for explanation, score in zip(batch, scores)
+        ]
 
     def report(self, x, *, top_k: int = 5) -> str:
         """Full operator report for one sample (prediction, signals,

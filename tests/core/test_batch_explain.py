@@ -1,0 +1,295 @@
+"""Batch explanation: the BatchExplanation container, the vectorized
+explain_batch overrides, and their equivalence with per-sample explain.
+
+Every explainer that overrides ``explain_batch`` must reproduce the
+per-sample path within 1e-8 (they share the RNG discipline: an integer
+``random_state`` re-seeds per call, so one shared design equals the
+per-sample designs).  The generic fallback and the edge cases (empty
+batch, single row, bad shapes) are covered for all explainers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.explainers import (
+    BatchExplanation,
+    ExactShapleyExplainer,
+    Explanation,
+    KernelShapExplainer,
+    LimeExplainer,
+    LinearShapExplainer,
+    SamplingShapleyExplainer,
+    TreeShapExplainer,
+    model_output_fn,
+)
+from repro.ml import LinearRegression, RandomForestRegressor
+
+
+@pytest.fixture(scope="module")
+def nonlinear_problem():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(90, 6))
+
+    def fn(Z):
+        Z = np.atleast_2d(Z)
+        return Z[:, 0] * Z[:, 1] + np.sin(Z[:, 2]) + 0.5 * Z[:, 3]
+
+    return X, fn
+
+
+def _explainer_grid(X, fn):
+    """Every explainer with a vectorized explain_batch override."""
+    background = X[:30]
+    return {
+        "kernel_shap": KernelShapExplainer(
+            fn, background, n_samples=100, random_state=7
+        ),
+        "sampling_shapley": SamplingShapleyExplainer(
+            fn, background, n_permutations=6, random_state=7
+        ),
+        "lime": LimeExplainer(fn, X, n_samples=150, random_state=7),
+        "exact_shapley": ExactShapleyExplainer(fn, background),
+        "linear_shap": LinearShapExplainer(
+            LinearRegression().fit(X, fn(X)), background
+        ),
+    }
+
+
+class TestBatchExplanationContainer:
+    @pytest.fixture()
+    def batch(self):
+        return BatchExplanation(
+            feature_names=["a", "b", "c"],
+            values=np.arange(12, dtype=float).reshape(4, 3),
+            base_values=np.zeros(4),
+            predictions=np.arange(12, dtype=float).reshape(4, 3).sum(axis=1),
+            X=np.ones((4, 3)),
+            method="test",
+            extras={"shared": 1},
+            sample_extras=[{"i": i} for i in range(4)],
+        )
+
+    def test_len_and_shape(self, batch):
+        assert len(batch) == 4
+        assert batch.n_samples == 4
+        assert batch.n_features == 3
+
+    def test_getitem_returns_explanation(self, batch):
+        e = batch[1]
+        assert isinstance(e, Explanation)
+        assert e.method == "test"
+        np.testing.assert_allclose(e.values, [3.0, 4.0, 5.0])
+        assert e.extras == {"shared": 1, "i": 1}
+
+    def test_negative_and_out_of_range_index(self, batch):
+        np.testing.assert_allclose(batch[-1].values, batch[3].values)
+        with pytest.raises(IndexError):
+            batch[4]
+
+    def test_slice_and_iter(self, batch):
+        assert [e.prediction for e in batch] == [
+            e.prediction for e in batch.to_list()
+        ]
+        assert len(batch[1:3]) == 2
+
+    def test_additivity_gaps(self, batch):
+        np.testing.assert_allclose(batch.additivity_gaps(), np.zeros(4))
+
+    def test_global_importance(self, batch):
+        gi = batch.global_importance()
+        np.testing.assert_allclose(
+            gi.importances, np.abs(batch.values).mean(axis=0)
+        )
+        assert gi.method == "mean_abs_test"
+
+    def test_empty_global_importance_raises(self):
+        empty = BatchExplanation(
+            feature_names=["a"],
+            values=np.zeros((0, 1)),
+            base_values=np.zeros(0),
+            predictions=np.zeros(0),
+            X=np.zeros((0, 1)),
+            method="test",
+        )
+        with pytest.raises(ValueError, match="empty"):
+            empty.global_importance()
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="names"):
+            BatchExplanation(
+                feature_names=["a"],
+                values=np.zeros((2, 3)),
+                base_values=np.zeros(2),
+                predictions=np.zeros(2),
+                X=np.zeros((2, 3)),
+                method="test",
+            )
+        with pytest.raises(ValueError, match="base values"):
+            BatchExplanation(
+                feature_names=["a", "b"],
+                values=np.zeros((2, 2)),
+                base_values=np.zeros(3),
+                predictions=np.zeros(2),
+                X=np.zeros((2, 2)),
+                method="test",
+            )
+
+    def test_from_explanations_roundtrip(self, batch):
+        rebuilt = BatchExplanation.from_explanations(batch.to_list())
+        np.testing.assert_allclose(rebuilt.values, batch.values)
+        np.testing.assert_allclose(rebuilt.predictions, batch.predictions)
+        assert rebuilt.method == "test"
+
+    def test_from_explanations_empty_raises(self):
+        with pytest.raises(ValueError, match="zero explanations"):
+            BatchExplanation.from_explanations([])
+
+
+class TestBatchEquivalence:
+    """explain_batch must match a per-sample explain loop."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["kernel_shap", "sampling_shapley", "lime", "exact_shapley",
+         "linear_shap"],
+    )
+    def test_matches_per_sample_loop(self, nonlinear_problem, name):
+        X, fn = nonlinear_problem
+        explainer = _explainer_grid(X, fn)[name]
+        rows = X[30:46]
+        batch = explainer.explain_batch(rows)
+        assert isinstance(batch, BatchExplanation)
+        assert len(batch) == len(rows)
+        for b, single in zip(batch, (explainer.explain(r) for r in rows)):
+            np.testing.assert_allclose(
+                b.values, single.values, atol=1e-8, rtol=0
+            )
+            assert abs(b.prediction - single.prediction) < 1e-8
+            assert abs(b.base_value - single.base_value) < 1e-8
+
+    @pytest.mark.parametrize(
+        "name",
+        ["kernel_shap", "sampling_shapley", "lime", "exact_shapley",
+         "linear_shap"],
+    )
+    def test_single_row_batch(self, nonlinear_problem, name):
+        X, fn = nonlinear_problem
+        explainer = _explainer_grid(X, fn)[name]
+        batch = explainer.explain_batch(X[40:41])
+        assert len(batch) == 1
+        np.testing.assert_allclose(
+            batch[0].values, explainer.explain(X[40]).values,
+            atol=1e-8, rtol=0,
+        )
+
+    @pytest.mark.parametrize(
+        "name",
+        ["kernel_shap", "sampling_shapley", "lime", "exact_shapley",
+         "linear_shap"],
+    )
+    def test_empty_batch(self, nonlinear_problem, name):
+        X, fn = nonlinear_problem
+        explainer = _explainer_grid(X, fn)[name]
+        batch = explainer.explain_batch(np.zeros((0, X.shape[1])))
+        assert len(batch) == 0
+        assert batch.values.shape == (0, X.shape[1])
+        assert list(batch) == []
+
+    @pytest.mark.parametrize(
+        "name",
+        ["kernel_shap", "sampling_shapley", "lime", "exact_shapley",
+         "linear_shap"],
+    )
+    def test_bad_shapes_raise(self, nonlinear_problem, name):
+        X, fn = nonlinear_problem
+        explainer = _explainer_grid(X, fn)[name]
+        with pytest.raises(ValueError, match="2-D"):
+            explainer.explain_batch(X[0])
+        with pytest.raises(ValueError, match="features"):
+            explainer.explain_batch(np.zeros((3, X.shape[1] + 2)))
+
+    def test_batch_is_deterministic_for_int_seed(self, nonlinear_problem):
+        X, fn = nonlinear_problem
+        rows = X[:8]
+        first = KernelShapExplainer(
+            fn, X[:30], n_samples=100, random_state=11
+        ).explain_batch(rows)
+        second = KernelShapExplainer(
+            fn, X[:30], n_samples=100, random_state=11
+        ).explain_batch(rows)
+        np.testing.assert_array_equal(first.values, second.values)
+
+    def test_generator_random_state_supported(self, nonlinear_problem):
+        X, fn = nonlinear_problem
+        rng = np.random.default_rng(0)
+        explainer = KernelShapExplainer(
+            fn, X[:30], n_samples=100, random_state=rng
+        )
+        batch = explainer.explain_batch(X[:4])
+        assert len(batch) == 4
+        assert np.all(np.isfinite(batch.values))
+
+    def test_fallback_loop_for_tree_shap(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(120, 5))
+        y = X[:, 0] - 2.0 * X[:, 1] + rng.normal(0, 0.1, 120)
+        model = RandomForestRegressor(
+            n_estimators=8, max_depth=4, random_state=0
+        ).fit(X, y)
+        explainer = TreeShapExplainer(model)
+        batch = explainer.explain_batch(X[:5])
+        assert isinstance(batch, BatchExplanation)
+        for b, row in zip(batch, X[:5]):
+            np.testing.assert_allclose(
+                b.values, explainer.explain(row).values, atol=1e-12, rtol=0
+            )
+
+    def test_kernel_row_chunking_matches_unchunked(
+        self, nonlinear_problem, monkeypatch
+    ):
+        """A fleet large enough to overflow the row budget is chunked
+        by rows without changing the result."""
+        import repro.core.explainers.shap_kernel as shap_kernel
+
+        X, fn = nonlinear_problem
+        explainer = KernelShapExplainer(
+            fn, X[:30], n_samples=60, random_state=1
+        )
+        full = explainer.explain_batch(X[:20])
+        monkeypatch.setattr(shap_kernel, "_ROW_BUDGET", 90)  # 3 rows/chunk
+        chunked = explainer.explain_batch(X[:20])
+        np.testing.assert_allclose(
+            chunked.values, full.values, atol=1e-10, rtol=0
+        )
+
+    def test_exact_row_chunking_matches_unchunked(
+        self, nonlinear_problem, monkeypatch
+    ):
+        import repro.core.explainers.shap_exact as shap_exact
+
+        X, fn = nonlinear_problem
+        explainer = ExactShapleyExplainer(fn, X[:10])
+        full = explainer.explain_batch(X[:8])
+        monkeypatch.setattr(shap_exact, "_ROW_BUDGET", 20)  # 2 rows/chunk
+        chunked = explainer.explain_batch(X[:8])
+        np.testing.assert_allclose(
+            chunked.values, full.values, atol=1e-10, rtol=0
+        )
+        np.testing.assert_allclose(
+            chunked.base_values, full.base_values, atol=1e-10, rtol=0
+        )
+
+    def test_additivity_holds_across_batch(self, nonlinear_problem):
+        X, fn = nonlinear_problem
+        explainer = _explainer_grid(X, fn)["kernel_shap"]
+        batch = explainer.explain_batch(X[:10])
+        assert batch.additivity_gaps().max() < 1e-6
+
+    def test_global_importance_uses_batch_path(self, nonlinear_problem):
+        X, fn = nonlinear_problem
+        explainer = _explainer_grid(X, fn)["linear_shap"]
+        gi = explainer.global_importance(X[:20])
+        batch = explainer.explain_batch(X[:20])
+        np.testing.assert_allclose(
+            gi.importances, np.abs(batch.values).mean(axis=0)
+        )

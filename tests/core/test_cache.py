@@ -1,0 +1,186 @@
+"""Tests for repro.core.cache — memoized background predictions and
+coalition designs."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import (
+    ExplainerCache,
+    array_fingerprint,
+    clear_cache,
+    get_cache,
+)
+from repro.core.explainers import KernelShapExplainer
+
+
+class CountingModel:
+    """A predict function that counts its calls (weak-referenceable)."""
+
+    def __init__(self):
+        self.calls = 0
+        self.rows = 0
+
+    def __call__(self, X):
+        X = np.atleast_2d(X)
+        self.calls += 1
+        self.rows += len(X)
+        return X.sum(axis=1)
+
+
+class TestArrayFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        a = np.arange(12.0).reshape(3, 4)
+        b = np.arange(12.0).reshape(3, 4)
+        assert array_fingerprint(a) == array_fingerprint(b)
+
+    def test_different_content_differs(self):
+        a = np.arange(12.0).reshape(3, 4)
+        b = a.copy()
+        b[0, 0] = -1.0
+        assert array_fingerprint(a) != array_fingerprint(b)
+
+    def test_shape_matters(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert array_fingerprint(a) != array_fingerprint(a.reshape(4, 3))
+
+
+class TestBackgroundPredictions:
+    def test_second_request_hits_cache(self):
+        cache = ExplainerCache()
+        fn = CountingModel()
+        bg = np.ones((5, 3))
+        first = cache.background_predictions(fn, bg)
+        second = cache.background_predictions(fn, bg)
+        # one full sweep (5 rows) + the 3-row spot-check probe on the
+        # hit — not a second full sweep
+        assert fn.rows == 8
+        np.testing.assert_array_equal(first, second)
+        assert cache.stats()["hits"] == 1
+
+    def test_different_background_misses(self):
+        cache = ExplainerCache()
+        fn = CountingModel()
+        cache.background_predictions(fn, np.ones((5, 3)))
+        cache.background_predictions(fn, np.zeros((5, 3)))
+        assert fn.calls == 2
+
+    def test_different_fn_misses(self):
+        cache = ExplainerCache()
+        fn_a, fn_b = CountingModel(), CountingModel()
+        bg = np.ones((5, 3))
+        cache.background_predictions(fn_a, bg)
+        cache.background_predictions(fn_b, bg)
+        assert fn_a.calls == 1 and fn_b.calls == 1
+
+    def test_result_is_read_only(self):
+        cache = ExplainerCache()
+        preds = cache.background_predictions(CountingModel(), np.ones((4, 2)))
+        with pytest.raises(ValueError):
+            preds[0] = 99.0
+
+    def test_collected_fn_entry_evicted(self):
+        cache = ExplainerCache()
+        fn = CountingModel()
+        cache.background_predictions(fn, np.ones((4, 2)))
+        assert cache.stats()["background_entries"] == 1
+        del fn
+        assert cache.stats()["background_entries"] == 0
+
+    def test_in_place_refit_invalidates_entry(self):
+        """A model refit behind the same predict function must not be
+        served stale predictions (revalidated via a one-row probe)."""
+        cache = ExplainerCache()
+
+        class MutableModel:
+            scale = 1.0
+
+            def __call__(self, X):
+                return np.atleast_2d(X).sum(axis=1) * self.scale
+
+        fn = MutableModel()
+        bg = np.ones((4, 2))
+        first = cache.background_predictions(fn, bg)
+        np.testing.assert_array_equal(first, [2.0, 2.0, 2.0, 2.0])
+        fn.scale = 5.0  # "refit" in place
+        second = cache.background_predictions(fn, bg)
+        np.testing.assert_array_equal(second, [10.0, 10.0, 10.0, 10.0])
+
+    def test_eviction_respects_maxsize(self):
+        cache = ExplainerCache(max_backgrounds=2)
+        fn = CountingModel()
+        for scale in (1.0, 2.0, 3.0):
+            cache.background_predictions(fn, np.full((4, 2), scale))
+        assert cache.stats()["background_entries"] == 2
+        # oldest entry (scale=1.0) was evicted -> recomputed on request
+        cache.background_predictions(fn, np.full((4, 2), 1.0))
+        assert fn.calls == 4
+
+
+class TestCoalitionDesignCache:
+    def test_build_called_once_per_key(self):
+        cache = ExplainerCache()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return np.ones((3, 4), dtype=bool), np.ones(3)
+
+        key = ("kernel_shap", 4, 64, True, 0)
+        m1, w1 = cache.coalition_design(key, build)
+        m2, w2 = cache.coalition_design(key, build)
+        assert len(calls) == 1
+        assert m1 is m2 and w1 is w2
+        assert not m1.flags.writeable
+
+    def test_kernel_explainer_shares_design_across_instances(self):
+        clear_cache()
+        fn = CountingModel()
+        bg = np.linspace(0.0, 1.0, 24).reshape(6, 4)
+        first = KernelShapExplainer(fn, bg, n_samples=32, random_state=0)
+        first.explain(bg[0])
+        designs_after_first = get_cache().stats()["design_entries"]
+        second = KernelShapExplainer(fn, bg, n_samples=32, random_state=0)
+        second.explain(bg[1])
+        assert get_cache().stats()["design_entries"] == designs_after_first
+        clear_cache()
+
+    def test_generator_random_state_bypasses_cache(self):
+        clear_cache()
+        fn = CountingModel()
+        bg = np.linspace(0.0, 1.0, 24).reshape(6, 4)
+        explainer = KernelShapExplainer(
+            fn, bg, n_samples=32, random_state=np.random.default_rng(0)
+        )
+        explainer.explain(bg[0])
+        assert get_cache().stats()["design_entries"] == 0
+        clear_cache()
+
+    def test_clear_resets_counters(self):
+        cache = ExplainerCache()
+        fn = CountingModel()
+        cache.background_predictions(fn, np.ones((3, 2)))
+        cache.background_predictions(fn, np.ones((3, 2)))
+        cache.clear()
+        stats = cache.stats()
+        assert stats == {
+            "hits": 0,
+            "misses": 0,
+            "background_entries": 0,
+            "design_entries": 0,
+        }
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ExplainerCache(max_backgrounds=0)
+
+
+class TestCachedExplainerCorrectness:
+    def test_expected_value_matches_uncached(self):
+        clear_cache()
+        fn = CountingModel()
+        bg = np.linspace(-1.0, 1.0, 40).reshape(10, 4)
+        a = KernelShapExplainer(fn, bg, n_samples=16, random_state=0)
+        b = KernelShapExplainer(fn, bg, n_samples=16, random_state=0)
+        assert a.expected_value_ == b.expected_value_
+        assert a.expected_value_ == pytest.approx(float(fn(bg).mean()))
+        clear_cache()

@@ -113,6 +113,57 @@ class TestPipeline:
             NFVExplainabilityPipeline(GaussianNB(), background_size=0)
 
 
+class TestDiagnoseBatch:
+    def test_matches_per_sample_diagnose(self, pipeline, sla_dataset):
+        rows = sla_dataset.X.values[:6]
+        batched = pipeline.diagnose_batch(rows)
+        assert len(batched) == 6
+        for row, diagnosis in zip(rows, batched):
+            single = pipeline.diagnose(row)
+            assert diagnosis.prediction == pytest.approx(
+                single.prediction, abs=1e-10
+            )
+            assert diagnosis.alert == single.alert
+            assert diagnosis.vnf_ranking == single.vnf_ranking
+            np.testing.assert_allclose(
+                diagnosis.explanation.values,
+                single.explanation.values,
+                atol=1e-8,
+            )
+            assert diagnosis.primary_resource == single.primary_resource
+
+    def test_empty_batch(self, pipeline):
+        assert pipeline.diagnose_batch(
+            np.zeros((0, len(pipeline.feature_names_)))
+        ) == []
+
+    def test_rejects_1d(self, pipeline, sla_dataset):
+        with pytest.raises(ValueError, match="2-D"):
+            pipeline.diagnose_batch(sla_dataset.X.values[0])
+
+    def test_unfitted_raises(self):
+        pipe = NFVExplainabilityPipeline(GaussianNB())
+        with pytest.raises(RuntimeError, match="not fitted"):
+            pipe.diagnose_batch(np.zeros((2, 31)))
+
+    def test_kernel_shap_pipeline_batch(self, sla_dataset):
+        pipe = NFVExplainabilityPipeline(
+            GaussianNB(),
+            explainer_method="kernel_shap",
+            background_size=20,
+            explainer_kwargs={"n_samples": 32, "random_state": 0},
+            random_state=0,
+        ).fit(sla_dataset)
+        rows = sla_dataset.X.values[:4]
+        batched = pipe.diagnose_batch(rows)
+        single = pipe.diagnose(rows[2])
+        np.testing.assert_allclose(
+            batched[2].explanation.values,
+            single.explanation.values,
+            atol=1e-8,
+        )
+
+
 class TestReports:
     def test_local_report_alert_marker(self, pipeline, sla_dataset):
         violations = np.flatnonzero(sla_dataset.y == 1)

@@ -68,3 +68,46 @@ class TestCommands:
         assert code == 0
         assert "ok" in out
         assert "FAIL" not in out
+
+
+class TestExplainBatch:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["explain-batch"])
+        assert args.command == "explain-batch"
+        assert args.limit == 32
+        assert args.method == "auto"
+
+    def test_default_violations(self, capsys):
+        code = main(
+            ["explain-batch", "--epochs", "600", "--seed", "3",
+             "--limit", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "diagnosed 4 epochs" in out
+        assert "epoch" in out and "score" in out
+
+    def test_explicit_indices(self, capsys):
+        code = main(
+            ["explain-batch", "--epochs", "600", "--seed", "3",
+             "--epoch-indices", "1,5,9"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "diagnosed 3 epochs" in out
+
+    def test_bad_indices(self, capsys):
+        code = main(
+            ["explain-batch", "--epochs", "300", "--seed", "3",
+             "--epoch-indices", "99999"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "out of range" in out
+
+    def test_unparseable_indices(self, capsys):
+        code = main(
+            ["explain-batch", "--epochs", "300", "--seed", "3",
+             "--epoch-indices", "1,foo"]
+        )
+        assert code == 1
