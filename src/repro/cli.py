@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Five subcommands mirror the library's workflow::
+Six subcommands mirror the library's workflow::
 
     repro simulate      --epochs 2000 --seed 7 --out trace.npz
     repro train         --epochs 3000 --seed 7 --model random_forest
     repro explain       --epochs 3000 --seed 7 --epoch-index 42
     repro explain-batch --epochs 3000 --seed 7 --limit 32
+    repro scenarios     list | run --scenarios baseline,fault-storm ...
     repro validate
 
 (``python -m repro.cli ...`` works identically without installing the
@@ -13,9 +14,10 @@ console script.)  ``simulate`` writes the raw telemetry + labels to an
 ``.npz`` archive; ``train`` reports model quality on a held-out split;
 ``explain`` prints the operator report for one epoch; ``explain-batch``
 diagnoses many epochs in one vectorized pass (shared coalition design
-and background evaluation — the fleet-triage fast path); ``validate``
-runs the explainers against closed-form ground truth (a smoke test for
-installations).
+and background evaluation — the fleet-triage fast path); ``scenarios``
+lists the workload catalog and sweeps the scenario × model × explainer
+matrix; ``validate`` runs the explainers against closed-form ground
+truth (a smoke test for installations).
 """
 
 from __future__ import annotations
@@ -27,24 +29,32 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
-_MODELS = {
-    "random_forest": lambda: _ml().RandomForestClassifier(
-        n_estimators=60, max_depth=10, random_state=0
-    ),
-    "gradient_boosting": lambda: _ml().GradientBoostingClassifier(
-        n_estimators=80, max_depth=3, learning_rate=0.2, random_state=0
-    ),
-    "logistic_regression": lambda: _ml().LogisticRegression(max_iter=400),
-    "mlp": lambda: _ml().MLPClassifier(
-        hidden_layer_sizes=(64, 32), max_epochs=60, random_state=0
-    ),
-}
+#: Model names resolved through
+#: :func:`repro.core.matrix.default_model_factories` (kept static here
+#: so ``--help`` does not import the ML stack).
+_MODEL_NAMES = (
+    "gradient_boosting",
+    "logistic_regression",
+    "mlp",
+    "random_forest",
+)
 
 
-def _ml():
-    import repro.ml as ml
+def _model_factories():
+    from repro.core.matrix import default_model_factories
 
-    return ml
+    return default_model_factories()
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, with a readable error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,21 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser("simulate", help="generate labelled telemetry")
-    simulate.add_argument("--epochs", type=int, default=2000)
+    simulate.add_argument("--epochs", type=_positive_int, default=2000)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--no-faults", action="store_true")
     simulate.add_argument("--out", default=None, help="write .npz archive")
 
     train = sub.add_parser("train", help="train an SLA-violation model")
-    train.add_argument("--epochs", type=int, default=3000)
+    train.add_argument("--epochs", type=_positive_int, default=3000)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--horizon", type=int, default=0)
     train.add_argument(
-        "--model", choices=sorted(_MODELS), default="random_forest"
+        "--model", choices=_MODEL_NAMES, default="random_forest"
     )
 
     explain = sub.add_parser("explain", help="explain one epoch's prediction")
-    explain.add_argument("--epochs", type=int, default=3000)
+    explain.add_argument("--epochs", type=_positive_int, default=3000)
     explain.add_argument("--seed", type=int, default=0)
     explain.add_argument(
         "--epoch-index", type=int, default=None,
@@ -85,7 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
         "explain-batch",
         help="diagnose many epochs in one vectorized pass",
     )
-    batch.add_argument("--epochs", type=int, default=3000)
+    batch.add_argument("--epochs", type=_positive_int, default=3000)
     batch.add_argument("--seed", type=int, default=0)
     batch.add_argument(
         "--epoch-indices", default=None,
@@ -93,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: every violation, capped by --limit)",
     )
     batch.add_argument(
-        "--limit", type=int, default=32,
+        "--limit", type=_positive_int, default=32,
         help="cap on auto-selected violation epochs (default 32)",
     )
     batch.add_argument(
@@ -101,6 +111,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="explainer (auto, tree_shap, kernel_shap, lime, ...)",
     )
     batch.add_argument("--top-k", type=int, default=3)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="workload scenario catalog and matrix sweeps",
+    )
+    scen_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scen_sub.add_parser("list", help="list registered scenarios")
+    run = scen_sub.add_parser(
+        "run", help="sweep scenarios × models × explainers"
+    )
+    run.add_argument(
+        "--scenarios", default="baseline,bursty-traffic,fault-storm",
+        help="comma-separated scenario names (see: repro scenarios list)",
+    )
+    run.add_argument(
+        "--models", default="random_forest,logistic_regression",
+        help=f"comma-separated model names from {', '.join(_MODEL_NAMES)}",
+    )
+    run.add_argument(
+        "--explainers", default="kernel_shap,lime",
+        help="comma-separated model-agnostic explainer methods",
+    )
+    run.add_argument("--epochs", type=_positive_int, default=1000)
+    run.add_argument(
+        "--explain", type=_positive_int, default=8,
+        help="violation epochs diagnosed per matrix cell",
+    )
+    run.add_argument(
+        "--stability-repeats", type=int, default=0,
+        help="add the input-stability metric with N >= 2 repeats (0 = off)",
+    )
+    run.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("validate", help="check explainers vs ground truth")
     return parser
@@ -140,7 +182,7 @@ def _cmd_train(args) -> int:
 
     dataset = _load_dataset(args, horizon=args.horizon)
     pipeline = NFVExplainabilityPipeline(
-        _MODELS[args.model](),
+        _model_factories()[args.model](),
         explainer_method="auto",
         random_state=args.seed,
     ).fit(dataset)
@@ -194,12 +236,18 @@ def _cmd_explain_batch(args) -> int:
         except ValueError:
             print(f"bad --epoch-indices {args.epoch_indices!r}")
             return 1
+        if not indices:
+            print(f"--epoch-indices {args.epoch_indices!r} names no epochs")
+            return 1
         bad = [i for i in indices if not 0 <= i < len(dataset.y)]
         if bad:
             print(f"epoch indices out of range [0, {len(dataset.y)}): {bad}")
             return 1
     else:
-        indices = np.flatnonzero(dataset.y == 1)[: max(0, args.limit)].tolist()
+        violations = np.flatnonzero(dataset.y == 1)
+        if args.limit < len(violations):
+            print(f"capping {len(violations)} violations to --limit {args.limit}")
+        indices = violations[: args.limit].tolist()
         if not indices:
             print("no violations in this trace; pass --epoch-indices")
             return 1
@@ -238,6 +286,71 @@ def _cmd_explain_batch(args) -> int:
     print(f"\ndiagnosed {len(diagnoses)} epochs ({n_alerts} alerts) "
           f"in {elapsed:.2f}s — {mode}, "
           f"method={pipeline.explainer_.method_name}")
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    if args.scenarios_command == "list":
+        from repro.nfv.scenarios import scenario_descriptions, scenario_knobs
+
+        descriptions = scenario_descriptions()
+        width = max(len(name) for name in descriptions)
+        for name, description in descriptions.items():
+            knobs = ", ".join(sorted(scenario_knobs(name)))
+            print(f"{name:<{width}}  {description}  [knobs: {knobs}]")
+        return 0
+
+    from repro.core.matrix import run_scenario_matrix
+    from repro.nfv.scenarios import list_scenarios
+
+    scenarios = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    explainers = [e.strip() for e in args.explainers.split(",") if e.strip()]
+    if not scenarios or not models or not explainers:
+        print("need at least one scenario, model and explainer")
+        return 1
+
+    known = set(list_scenarios())
+    unknown = sorted(set(scenarios) - known)
+    if unknown:
+        print(f"unknown scenarios {unknown}; see: repro scenarios list")
+        return 1
+    factories = _model_factories()
+    bad_models = sorted(set(models) - set(factories))
+    if bad_models:
+        print(f"unknown models {bad_models}; choose from {sorted(factories)}")
+        return 1
+    from repro.core.explainers import EXPLAINER_METHODS
+
+    bad_explainers = sorted(set(explainers) - set(EXPLAINER_METHODS))
+    if bad_explainers:
+        print(
+            f"unknown explainers {bad_explainers}; choose from "
+            f"{', '.join(EXPLAINER_METHODS)}"
+        )
+        return 1
+    if args.stability_repeats < 0 or args.stability_repeats == 1:
+        print("--stability-repeats must be 0 or >= 2")
+        return 1
+
+    report = run_scenario_matrix(
+        scenarios,
+        models={name: factories[name] for name in models},
+        explainers=explainers,
+        n_epochs=args.epochs,
+        n_explain=args.explain,
+        stability_repeats=args.stability_repeats,
+        random_state=args.seed,
+        progress=print,
+    )
+    print()
+    print(report.format_table())
+    print(
+        f"\n{len(report.cells)} cells "
+        f"({len(scenarios)} scenarios × {len(models)} models × "
+        f"{len(explainers)} explainers), {args.epochs} epochs each, "
+        f"seed={args.seed}"
+    )
     return 0
 
 
@@ -281,6 +394,7 @@ def main(argv=None) -> int:
         "train": _cmd_train,
         "explain": _cmd_explain,
         "explain-batch": _cmd_explain_batch,
+        "scenarios": _cmd_scenarios,
         "validate": _cmd_validate,
     }
     return handlers[args.command](args)

@@ -31,6 +31,12 @@ from repro.core.explainers import (
     make_explainer,
     model_output_fn,
 )
+from repro.core.matrix import (
+    MatrixCell,
+    MatrixReport,
+    default_model_factories,
+    run_scenario_matrix,
+)
 from repro.core.pipeline import NFVDiagnosis, NFVExplainabilityPipeline
 from repro.core.rootcause import RootCauseEvaluator, vnf_attribution_scores
 
@@ -39,6 +45,7 @@ __all__ = [
     "cache_stats",
     "clear_cache",
     "CounterfactualExplainer",
+    "default_model_factories",
     "ExactShapleyExplainer",
     "Explanation",
     "get_cache",
@@ -49,8 +56,11 @@ __all__ = [
     "LimeExplainer",
     "LinearShapExplainer",
     "make_explainer",
+    "MatrixCell",
+    "MatrixReport",
     "model_output_fn",
     "NFVDiagnosis",
+    "run_scenario_matrix",
     "NFVExplainabilityPipeline",
     "PartialDependence",
     "PermutationImportance",

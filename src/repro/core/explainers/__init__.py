@@ -52,6 +52,7 @@ __all__ = [
     "CounterfactualExplainer",
     "ExactShapleyExplainer",
     "Explainer",
+    "EXPLAINER_METHODS",
     "Explanation",
     "GlobalExplanation",
     "IntegratedGradientsExplainer",
@@ -68,6 +69,20 @@ __all__ = [
     "SurrogateTreeExplainer",
     "TreeShapExplainer",
 ]
+
+#: Every method name :func:`make_explainer` accepts (callers can
+#: pre-flight user input against this instead of catching ValueError).
+EXPLAINER_METHODS = (
+    "auto",
+    "exact_shapley",
+    "integrated_gradients",
+    "interventional_tree_shap",
+    "kernel_shap",
+    "lime",
+    "linear_shap",
+    "sampling_shapley",
+    "tree_shap",
+)
 
 _TREE_MODELS = (
     "DecisionTreeClassifier",
@@ -153,7 +168,6 @@ def make_explainer(
     if method == "lime":
         return LimeExplainer(fn, background, feature_names, **kwargs)
     raise ValueError(
-        f"unknown explainer {method!r}; choose from tree_shap, "
-        "interventional_tree_shap, kernel_shap, sampling_shapley, "
-        "exact_shapley, linear_shap, lime, integrated_gradients, auto"
+        f"unknown explainer {method!r}; choose from "
+        f"{', '.join(EXPLAINER_METHODS)}"
     )

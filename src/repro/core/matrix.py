@@ -1,0 +1,378 @@
+"""Scenario × model × explainer matrix experiments.
+
+One fitted model under one workload says little about which explainer
+an operator should trust fleet-wide.  This module sweeps the full
+matrix: for every registered scenario (see :mod:`repro.nfv.scenarios`)
+it generates one dataset, fits every model once, rebuilds every
+explainer on the shared fit (:meth:`NFVExplainabilityPipeline.with_explainer`),
+diagnoses a batch of violation epochs through the vectorized
+:meth:`~repro.core.pipeline.NFVExplainabilityPipeline.diagnose_batch`
+path, and scores each cell with the evaluation suite:
+
+* **faithfulness** — normalized deletion/insertion AUCs plus a
+  shuffled-attribution control (:mod:`repro.core.evaluation.faithfulness`),
+* **comprehensiveness** — mean top-k score drop,
+* **agreement** — mean Spearman rank correlation against the sibling
+  explainers of the same (scenario, model) cell,
+* **stability** — mean cosine similarity of attributions under small
+  input perturbations (optional, it costs extra explain calls).
+
+The result is a :class:`MatrixReport` whose :meth:`~MatrixReport.format_table`
+is directly comparable across cells — the CLI (``repro scenarios run``)
+and ``benchmarks/bench_e3_scenarios.py`` both print it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.evaluation import (
+    agreement_matrix,
+    comprehensiveness,
+    faithfulness_report,
+    input_stability,
+)
+from repro.core.pipeline import NFVExplainabilityPipeline
+from repro.datasets import make_scenario_dataset
+
+__all__ = [
+    "MatrixCell",
+    "MatrixReport",
+    "default_model_factories",
+    "default_explainer_kwargs",
+    "run_scenario_matrix",
+]
+
+#: Explainers that accept a ``random_state`` constructor argument; the
+#: runner seeds them so matrix runs are reproducible end to end.
+_STOCHASTIC_EXPLAINERS = frozenset(
+    {"kernel_shap", "sampling_shapley", "lime"}
+)
+
+
+def default_model_factories() -> dict:
+    """Named factories for the reference models (shared with the CLI).
+
+    Every factory returns a *fresh, unfitted* estimator, so one matrix
+    run cannot leak fitted state into the next.
+    """
+    from repro.ml import (
+        GradientBoostingClassifier,
+        LogisticRegression,
+        MLPClassifier,
+        RandomForestClassifier,
+    )
+
+    return {
+        "random_forest": lambda: RandomForestClassifier(
+            n_estimators=60, max_depth=10, random_state=0
+        ),
+        "gradient_boosting": lambda: GradientBoostingClassifier(
+            n_estimators=80, max_depth=3, learning_rate=0.2, random_state=0
+        ),
+        "logistic_regression": lambda: LogisticRegression(max_iter=400),
+        "mlp": lambda: MLPClassifier(
+            hidden_layer_sizes=(64, 32), max_epochs=60, random_state=0
+        ),
+    }
+
+
+def default_explainer_kwargs(method: str) -> dict:
+    """Per-method sampling budgets sized for matrix sweeps.
+
+    Smaller than the single-incident defaults: a matrix evaluates
+    hundreds of (row, method) pairs, and the evaluation metrics average
+    away per-row estimator noise.
+    """
+    return {
+        "kernel_shap": {"n_samples": 256},
+        "sampling_shapley": {"n_permutations": 16},
+        "lime": {"n_samples": 400},
+    }.get(method, {})
+
+
+@dataclass
+class MatrixCell:
+    """Metrics of one (scenario, model, explainer) combination."""
+
+    scenario: str
+    model: str
+    explainer: str
+    train_accuracy: float
+    test_accuracy: float
+    violation_rate: float
+    n_explained: int
+    deletion_auc: float
+    insertion_auc: float
+    random_deletion_auc: float
+    comprehensiveness: float
+    agreement_spearman: float | None
+    stability_cosine: float | None
+    explain_seconds: float
+    vectorized: bool
+
+
+@dataclass
+class MatrixReport:
+    """All cells of one matrix run plus the sweep configuration."""
+
+    cells: list[MatrixCell]
+    scenarios: list[str]
+    models: list[str]
+    explainers: list[str]
+    n_epochs: int
+    n_explain: int
+    seed: int | None = None
+    extras: dict = field(default_factory=dict)
+
+    def to_rows(self) -> list[dict]:
+        """Cells as plain dicts (for CSV/JSON serialization)."""
+        return [asdict(cell) for cell in self.cells]
+
+    def cell(self, scenario: str, model: str, explainer: str) -> MatrixCell:
+        """Look one cell up by its coordinates."""
+        for c in self.cells:
+            if (c.scenario, c.model, c.explainer) == (scenario, model, explainer):
+                return c
+        raise KeyError(f"no cell ({scenario!r}, {model!r}, {explainer!r})")
+
+    def format_table(self) -> str:
+        """Aligned, comparable text table of every cell."""
+        header = (
+            f"{'scenario':<22} {'model':<20} {'explainer':<17} "
+            f"{'acc':>5} {'viol':>6} {'del.AUC':>8} {'ins.AUC':>8} "
+            f"{'rnd.del':>8} {'comp':>7} {'agree':>6} {'stab':>6} {'sec':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        previous = None
+        for c in self.cells:
+            scenario = c.scenario if c.scenario != previous else ""
+            previous = c.scenario
+            agree = f"{c.agreement_spearman:.2f}" if c.agreement_spearman is not None else "-"
+            stab = f"{c.stability_cosine:.2f}" if c.stability_cosine is not None else "-"
+            lines.append(
+                f"{scenario:<22} {c.model:<20} {c.explainer:<17} "
+                f"{c.test_accuracy:>5.2f} {c.violation_rate:>6.1%} "
+                f"{c.deletion_auc:>8.3f} {c.insertion_auc:>8.3f} "
+                f"{c.random_deletion_auc:>8.3f} {c.comprehensiveness:>7.3f} "
+                f"{agree:>6} {stab:>6} {c.explain_seconds:>6.2f}"
+            )
+        lines.append(
+            "del.AUC: higher = attributed features collapse the prediction "
+            "sooner (more faithful, as in E5); rnd.del is the shuffled-"
+            "attribution control; comp = mean top-k score drop; agree = "
+            "mean Spearman vs sibling explainers; stab = input-perturbation "
+            "cosine."
+        )
+        return "\n".join(lines)
+
+
+def _neutral_baseline(pipeline) -> np.ndarray:
+    """Replacement values for the perturbation curves.
+
+    The mean of the *negative-class* training rows when the task is
+    binary classification: deleting a violation's features must move the
+    score toward "healthy", otherwise the deletion/insertion curves are
+    flat and their normalized AUCs are ill-conditioned (a saturated
+    model scores the all-rows mean almost identically to a violation).
+    Falls back to the background mean for non-binary tasks.
+    """
+    y = np.asarray(pipeline.y_train_)
+    if y.dtype.kind in "iub":
+        negatives = pipeline.X_train_[y == 0]
+        if len(negatives) > 0:
+            return negatives.mean(axis=0)
+    return pipeline.background_.mean(axis=0)
+
+
+def _select_rows(dataset, n_explain: int) -> np.ndarray:
+    """Epochs to diagnose: violations first, newest fallback otherwise."""
+    y = np.asarray(dataset.y)
+    if y.dtype.kind in "iub":
+        picked = np.flatnonzero(y == 1)[:n_explain]
+        if len(picked) > 0:
+            return picked
+    return np.arange(len(y))[-n_explain:]
+
+
+def run_scenario_matrix(
+    scenarios,
+    models=None,
+    explainers=("kernel_shap", "lime"),
+    *,
+    n_epochs: int = 1000,
+    n_explain: int = 8,
+    horizon: int = 0,
+    top_k: int = 5,
+    stability_repeats: int = 0,
+    explainer_kwargs: dict | None = None,
+    random_state: int = 0,
+    progress=None,
+) -> MatrixReport:
+    """Run the full scenario × model × explainer sweep.
+
+    Parameters
+    ----------
+    scenarios:
+        Scenario names from :func:`repro.nfv.scenarios.list_scenarios`.
+    models:
+        Mapping of name -> zero-argument model factory; ``None`` uses
+        ``random_forest`` and ``logistic_regression`` from
+        :func:`default_model_factories`.
+    explainers:
+        ``make_explainer`` method names.  With more than one model in
+        the sweep they should be model-agnostic (``kernel_shap``,
+        ``sampling_shapley``, ``lime``, ``exact_shapley``) — model-
+        specific methods like ``tree_shap`` raise on the wrong model.
+    n_epochs, horizon:
+        Dataset length / forecasting horizon per scenario.
+    n_explain:
+        Violation epochs diagnosed per cell (the batched-engine batch).
+    top_k:
+        ``k`` for the comprehensiveness metric.
+    stability_repeats:
+        ``>= 2`` adds the input-stability metric with that many repeats
+        (costs ``repeats`` extra explain calls per cell); ``0`` skips it.
+    explainer_kwargs:
+        Mapping of method -> constructor overrides, merged over
+        :func:`default_explainer_kwargs`.
+    random_state:
+        Integer seed covering dataset generation, splits, and the
+        stochastic explainers — the whole matrix is reproducible.
+    progress:
+        Optional ``callable(str)`` receiving one line per finished cell.
+    """
+    scenarios = list(scenarios)
+    if not scenarios:
+        raise ValueError("scenarios must not be empty")
+    if models is None:
+        factories = default_model_factories()
+        models = {
+            name: factories[name]
+            for name in ("random_forest", "logistic_regression")
+        }
+    models = dict(models)
+    if not models:
+        raise ValueError("models must not be empty")
+    explainers = list(explainers)
+    if not explainers:
+        raise ValueError("explainers must not be empty")
+    if n_explain < 1:
+        raise ValueError(f"n_explain must be >= 1, got {n_explain}")
+    if stability_repeats < 0 or stability_repeats == 1:
+        raise ValueError("stability_repeats must be 0 or >= 2")
+    overrides = dict(explainer_kwargs or {})
+
+    def kwargs_for(method: str) -> dict:
+        kw = {**default_explainer_kwargs(method), **overrides.get(method, {})}
+        if method in _STOCHASTIC_EXPLAINERS:
+            kw.setdefault("random_state", random_state)
+        return kw
+
+    def emit(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    cells: list[MatrixCell] = []
+    for scenario in scenarios:
+        dataset = make_scenario_dataset(
+            scenario, n_epochs, horizon=horizon, random_state=random_state
+        )
+        rows = _select_rows(dataset, n_explain)
+        X_sel = dataset.X.values[rows]
+        violation_rate = dataset.result.violation_rate
+        for model_name, factory in models.items():
+            fitted = None
+            scenario_model_cells: list[MatrixCell] = []
+            attributions: dict[str, np.ndarray] = {}
+            for method in explainers:
+                kw = kwargs_for(method)
+                if fitted is None:
+                    pipeline = NFVExplainabilityPipeline(
+                        factory(),
+                        explainer_method=method,
+                        explainer_kwargs=kw,
+                        random_state=random_state,
+                    ).fit(dataset)
+                    fitted = pipeline
+                else:
+                    pipeline = fitted.with_explainer(method, **kw)
+
+                start = time.perf_counter()
+                diagnoses = pipeline.diagnose_batch(X_sel)
+                elapsed = time.perf_counter() - start
+                A = np.vstack([d.explanation.values for d in diagnoses])
+                attributions[method] = A
+
+                baseline = _neutral_baseline(pipeline)
+                faith = faithfulness_report(
+                    pipeline.score_fn, X_sel, A, baseline,
+                    n_steps=10, random_state=random_state,
+                )
+                comp = float(np.mean([
+                    comprehensiveness(
+                        pipeline.score_fn, x, a, baseline,
+                        k=min(top_k, X_sel.shape[1]),
+                    )
+                    for x, a in zip(X_sel, A)
+                ]))
+                stability = None
+                if stability_repeats >= 2:
+                    explainer = pipeline.explainer_
+                    stability = input_stability(
+                        lambda z: explainer.explain(z).values,
+                        X_sel[0],
+                        n_repeats=stability_repeats,
+                        feature_scales=pipeline.X_train_.std(axis=0),
+                        random_state=random_state,
+                    )["mean_cosine"]
+
+                from repro.core.explainers import Explainer
+
+                cell = MatrixCell(
+                    scenario=scenario,
+                    model=model_name,
+                    explainer=method,
+                    train_accuracy=float(pipeline.train_score_),
+                    test_accuracy=float(pipeline.test_score_),
+                    violation_rate=float(violation_rate),
+                    n_explained=len(rows),
+                    deletion_auc=faith["deletion_auc"],
+                    insertion_auc=faith["insertion_auc"],
+                    random_deletion_auc=faith["random_deletion_auc"],
+                    comprehensiveness=comp,
+                    agreement_spearman=None,
+                    stability_cosine=stability,
+                    explain_seconds=elapsed,
+                    vectorized=(
+                        type(pipeline.explainer_).explain_batch
+                        is not Explainer.explain_batch
+                    ),
+                )
+                scenario_model_cells.append(cell)
+                emit(
+                    f"{scenario} × {model_name} × {method}: "
+                    f"acc={cell.test_accuracy:.2f} "
+                    f"del.AUC={cell.deletion_auc:.3f} ({elapsed:.2f}s)"
+                )
+
+            if len(attributions) >= 2:
+                names, M = agreement_matrix(attributions, measure="spearman")
+                off_diag = ~np.eye(len(names), dtype=bool)
+                for cell in scenario_model_cells:
+                    i = names.index(cell.explainer)
+                    cell.agreement_spearman = float(np.mean(M[i][off_diag[i]]))
+            cells.extend(scenario_model_cells)
+
+    return MatrixReport(
+        cells=cells,
+        scenarios=scenarios,
+        models=list(models),
+        explainers=explainers,
+        n_epochs=n_epochs,
+        n_explain=n_explain,
+        seed=random_state,
+    )

@@ -162,6 +162,40 @@ class NFVExplainabilityPipeline:
         if self.explainer_ is None:
             raise RuntimeError("pipeline is not fitted; call fit(dataset) first")
 
+    @property
+    def score_fn(self):
+        """``f(X) -> 1-D scores`` of the fitted model (what the
+        explainer attributes); usable with the evaluation suite."""
+        self._check_fitted()
+        return self._score_fn
+
+    def with_explainer(
+        self, method: str, **explainer_kwargs
+    ) -> "NFVExplainabilityPipeline":
+        """A pipeline sharing this one's fitted model but explaining
+        through a different method.
+
+        The fitted model, train/test split, background sample, and
+        scores are all shared (nothing is re-trained) — only the
+        explainer is rebuilt.  This is what lets the scenario matrix
+        runner sweep N explainers per model at the cost of one fit.
+        """
+        import copy
+
+        self._check_fitted()
+        sibling = copy.copy(self)
+        sibling.explainer_method = method
+        sibling.explainer_kwargs = dict(explainer_kwargs)
+        sibling.explainer_ = make_explainer(
+            method,
+            self.fitted_model_,
+            self.background_,
+            self.feature_names_,
+            class_index=self.class_index,
+            **explainer_kwargs,
+        )
+        return sibling
+
     # ------------------------------------------------------------------
     def _resolve(
         self, explanation, score: float, aggregation: str

@@ -12,6 +12,7 @@ from repro.datasets.nfv_tasks import (
     NFVDataset,
     make_latency_dataset,
     make_root_cause_dataset,
+    make_scenario_dataset,
     make_sla_violation_dataset,
 )
 from repro.datasets.synthetic import (
@@ -26,6 +27,7 @@ __all__ = [
     "make_latency_dataset",
     "make_linear_regression",
     "make_root_cause_dataset",
+    "make_scenario_dataset",
     "make_sla_violation_dataset",
     "make_sparse_classification",
     "make_xor_classification",

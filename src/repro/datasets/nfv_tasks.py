@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.nfv.faults import NO_FAULT, FaultInjector
+from repro.nfv.scenarios import build_scenario
 from repro.nfv.simulator import SimulationResult, Simulator, Testbed, build_testbed
 from repro.utils.rng import check_random_state, spawn_rngs
 from repro.utils.tabular import FeatureMatrix
@@ -22,6 +23,7 @@ __all__ = [
     "make_sla_violation_dataset",
     "make_latency_dataset",
     "make_root_cause_dataset",
+    "make_scenario_dataset",
 ]
 
 
@@ -42,6 +44,9 @@ class NFVDataset:
     rows:
         Indices into the simulation epochs each sample corresponds to
         (identity for the first two tasks, a subset for root-cause).
+    metadata:
+        Free-form provenance (e.g. the scenario name and knobs the
+        dataset was generated under).
     """
 
     X: FeatureMatrix
@@ -49,6 +54,7 @@ class NFVDataset:
     task: str
     result: SimulationResult
     rows: np.ndarray = field(default_factory=lambda: np.empty(0, int))
+    metadata: dict = field(default_factory=dict)
 
     def __post_init__(self):
         if len(self.X) != len(self.y):
@@ -67,6 +73,15 @@ class NFVDataset:
         return self.result.culprit_vnfs[self.rows[sample_index]]
 
 
+def _resolve_injector(fault_injector, with_faults):
+    """Default injector unless the caller supplied one (scenarios do)."""
+    if fault_injector is not None:
+        if not with_faults:
+            raise ValueError("fault_injector conflicts with with_faults=False")
+        return fault_injector
+    return FaultInjector() if with_faults else None
+
+
 def _run(testbed, n_epochs, injector, random_state, simulator_kwargs):
     rng = check_random_state(random_state)
     tb_rng, sim_rng = spawn_rngs(rng, 2)
@@ -83,6 +98,7 @@ def make_sla_violation_dataset(
     *,
     testbed: Testbed | None = None,
     with_faults: bool = True,
+    fault_injector: FaultInjector | None = None,
     horizon: int = 0,
     random_state=None,
     simulator_kwargs: dict | None = None,
@@ -95,10 +111,12 @@ def make_sla_violation_dataset(
     ``horizon > 0`` turns diagnosis into *forecasting*: features at
     epoch ``t`` predict the violation at ``t + horizon``, which removes
     the near-deterministic shortcut of reading the current queue delays.
+    ``fault_injector`` replaces the default injector (scenarios pass
+    their own); it requires ``with_faults=True``.
     """
     if horizon < 0:
         raise ValueError(f"horizon must be >= 0, got {horizon}")
-    injector = FaultInjector() if with_faults else None
+    injector = _resolve_injector(fault_injector, with_faults)
     result = _run(testbed, n_epochs, injector, random_state, simulator_kwargs)
     X = result.features
     y = result.sla_violation.copy()
@@ -121,6 +139,7 @@ def make_latency_dataset(
     *,
     testbed: Testbed | None = None,
     with_faults: bool = True,
+    fault_injector: FaultInjector | None = None,
     log_target: bool = False,
     horizon: int = 0,
     random_state=None,
@@ -135,7 +154,7 @@ def make_latency_dataset(
     """
     if horizon < 0:
         raise ValueError(f"horizon must be >= 0, got {horizon}")
-    injector = FaultInjector() if with_faults else None
+    injector = _resolve_injector(fault_injector, with_faults)
     result = _run(testbed, n_epochs, injector, random_state, simulator_kwargs)
     y = result.latency_ms.copy()
     if log_target:
@@ -155,6 +174,7 @@ def make_root_cause_dataset(
     testbed: Testbed | None = None,
     include_none_fraction: float = 0.5,
     fault_rate: float = 0.02,
+    fault_injector: FaultInjector | None = None,
     random_state=None,
     simulator_kwargs: dict | None = None,
 ) -> NFVDataset:
@@ -164,6 +184,7 @@ def make_root_cause_dataset(
     epochs (``include_none_fraction`` of the fault count, so classes are
     not hopelessly imbalanced).  ``rows`` maps samples back to epochs so
     the culprit-VNF ground truth stays reachable (E6).
+    ``fault_injector`` overrides the default ``FaultInjector(rate=fault_rate)``.
     """
     if not 0.0 <= include_none_fraction <= 10.0:
         raise ValueError(
@@ -171,7 +192,11 @@ def make_root_cause_dataset(
         )
     rng = check_random_state(random_state)
     data_rng, pick_rng = spawn_rngs(rng, 2)
-    injector = FaultInjector(rate=fault_rate)
+    injector = (
+        fault_injector
+        if fault_injector is not None
+        else FaultInjector(rate=fault_rate)
+    )
     result = _run(testbed, n_epochs, injector, data_rng, simulator_kwargs)
 
     labels = result.root_cause
@@ -194,3 +219,98 @@ def make_root_cause_dataset(
         result=result,
         rows=rows,
     )
+
+
+def make_scenario_dataset(
+    name: str,
+    n_epochs: int | None = None,
+    *,
+    task: str = "sla_violation",
+    horizon: int = 0,
+    random_state=None,
+    scenario_kwargs: dict | None = None,
+    **task_kwargs,
+) -> NFVDataset:
+    """Build a learning task under a named workload scenario.
+
+    Looks up ``name`` in the :mod:`repro.nfv.scenarios` registry, builds
+    its testbed + fault injector + simulator configuration, runs the
+    requested task builder on it, and stamps the scenario provenance
+    into ``dataset.metadata``.
+
+    Deterministic: the same ``name`` and integer ``random_state``
+    produce a byte-identical dataset (features, labels, culprits, fault
+    schedule) on every call.
+
+    Parameters
+    ----------
+    name:
+        A scenario from :func:`repro.nfv.scenarios.list_scenarios`.
+    n_epochs:
+        Run length; defaults to the scenario's ``default_epochs``.
+    task:
+        ``"sla_violation"`` (default), ``"latency"`` or ``"root_cause"``.
+    horizon:
+        Forecasting horizon for the first two tasks.
+    scenario_kwargs:
+        Knob overrides forwarded to
+        :func:`~repro.nfv.scenarios.build_scenario`.
+    task_kwargs:
+        Extra arguments for the underlying task builder (e.g.
+        ``log_target=True`` for latency).
+    """
+    rng = check_random_state(random_state)
+    scenario_rng, data_rng = spawn_rngs(rng, 2)
+    spec = build_scenario(
+        name, random_state=scenario_rng, **(scenario_kwargs or {})
+    )
+    if n_epochs is None:
+        n_epochs = spec.default_epochs
+    common = dict(
+        testbed=spec.testbed,
+        random_state=data_rng,
+        simulator_kwargs=spec.simulator_kwargs,
+    )
+    if task == "sla_violation":
+        dataset = make_sla_violation_dataset(
+            n_epochs,
+            with_faults=spec.injector is not None,
+            fault_injector=spec.injector,
+            horizon=horizon,
+            **common,
+            **task_kwargs,
+        )
+    elif task == "latency":
+        dataset = make_latency_dataset(
+            n_epochs,
+            with_faults=spec.injector is not None,
+            fault_injector=spec.injector,
+            horizon=horizon,
+            **common,
+            **task_kwargs,
+        )
+    elif task == "root_cause":
+        if spec.injector is None:
+            raise ValueError(
+                f"scenario {name!r} is fault-free; root_cause needs faults"
+            )
+        if horizon != 0:
+            raise ValueError("root_cause does not support a horizon")
+        dataset = make_root_cause_dataset(
+            n_epochs,
+            fault_injector=spec.injector,
+            **common,
+            **task_kwargs,
+        )
+    else:
+        raise ValueError(
+            f"unknown task {task!r}; choose sla_violation, latency or "
+            "root_cause"
+        )
+    dataset.metadata.update(
+        scenario=spec.name,
+        description=spec.description,
+        knobs=dict(spec.knobs),
+        simulator_kwargs=dict(spec.simulator_kwargs),
+    )
+    return dataset

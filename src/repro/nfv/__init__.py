@@ -35,6 +35,14 @@ from repro.nfv.queueing import (
     mmc_waiting_time,
     mm1k_loss_probability,
 )
+from repro.nfv.scenarios import (
+    ScenarioSpec,
+    build_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_descriptions,
+    scenario_knobs,
+)
 from repro.nfv.sfc import SLA, ServiceFunctionChain
 from repro.nfv.simulator import SimulationResult, Simulator, Testbed, build_testbed
 from repro.nfv.topology import NfviTopology, Server
@@ -43,11 +51,13 @@ from repro.nfv.vnf import VNF_CATALOG, VNFInstance, VNFProfile
 
 __all__ = [
     "BestFitPlacement",
+    "build_scenario",
     "build_testbed",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
     "FirstFitPlacement",
+    "list_scenarios",
     "mg1_waiting_time",
     "mm1_queue_length",
     "mm1_waiting_time",
@@ -56,6 +66,10 @@ __all__ = [
     "NfviTopology",
     "PlacementError",
     "RandomPlacement",
+    "register_scenario",
+    "scenario_descriptions",
+    "scenario_knobs",
+    "ScenarioSpec",
     "Server",
     "ServiceFunctionChain",
     "SimulationResult",

@@ -156,6 +156,11 @@ class FaultInjector:
     ) -> list[FaultEvent]:
         """Draw a random schedule of non-overlapping faults for ``chain``.
 
+        Every event satisfies ``end_epoch <= n_epochs`` and respects
+        ``duration_range``; near the end of the run, durations are drawn
+        from the feasible part of the range (or the event is skipped)
+        instead of being clipped into mislabelled stubs.
+
         The chain must already be placed (server ids resolved) so that
         server-level faults can pick a victim server actually hosting
         one of the chain's VNFs.
@@ -172,16 +177,40 @@ class FaultInjector:
                     epoch = event.end_epoch + 5
                     continue
             epoch += 1
+        self._validate_schedule(events, n_epochs)
         return events
+
+    @staticmethod
+    def _validate_schedule(events: list[FaultEvent], n_epochs: int) -> None:
+        """Invariants every schedule must satisfy: events end within the
+        run and never overlap.  Catches bugs in ``_draw_event``
+        overrides before they silently corrupt ground-truth labels."""
+        ordered = sorted(events, key=lambda e: e.start_epoch)
+        for event in ordered:
+            if event.end_epoch > n_epochs:
+                raise RuntimeError(
+                    f"schedule bug: {event.kind.value} ends at epoch "
+                    f"{event.end_epoch}, past the {n_epochs}-epoch horizon"
+                )
+        for a, b in zip(ordered, ordered[1:]):
+            if a.overlaps(b):
+                raise RuntimeError(
+                    f"schedule bug: {a.kind.value} and {b.kind.value} overlap"
+                )
 
     def _draw_event(self, epoch, n_epochs, chain, rng):
         kind = self.kinds[rng.integers(0, len(self.kinds))]
         lo, hi = self.duration_range
-        duration = int(rng.integers(lo, hi + 1))
-        if epoch + duration > n_epochs:
-            duration = n_epochs - epoch
-            if duration < 1:
-                return None
+        # Draw the duration from the *feasible* part of duration_range so
+        # the event can never spill past the run horizon.  If not even
+        # the minimum duration fits, no fault starts this close to the
+        # end — the old behaviour of clipping the draw produced
+        # truncated stub events (down to a single epoch) whose telemetry
+        # footprint did not match their root-cause label.
+        remaining = n_epochs - epoch
+        if remaining < lo:
+            return None
+        duration = int(rng.integers(lo, min(hi, remaining) + 1))
         slo, shi = self.severity_range
         severity = float(rng.uniform(slo, shi))
         vnf_index = None

@@ -1,0 +1,323 @@
+"""Named, seedable workload scenarios for the NFV testbed.
+
+The paper's evaluation runs on a single synthetic testbed shape; real
+deployments see wildly different regimes (bursty CDN traffic, strong
+diurnal ISP swings, fault storms during rollouts, heterogeneous server
+fleets, ...).  An explainer that looks faithful under one regime may
+fall apart under another, so every explainer/model pairing should be
+stress-tested across a *catalog* of conditions.
+
+This module is that catalog: a registry of scenario generators, each a
+function of a random generator (plus scenario-specific knobs) that
+returns a fully-configured :class:`ScenarioSpec` — a placed testbed, a
+fault injector, and simulator parameters.  Everything downstream
+(dataset builders, the matrix experiment runner, the CLI, benches)
+refers to scenarios by name::
+
+    from repro.nfv.scenarios import build_scenario, list_scenarios
+
+    list_scenarios()
+    # ['baseline', 'bursty-traffic', 'cascading-overload', ...]
+
+    spec = build_scenario("fault-storm", random_state=7)
+    sim = Simulator(spec.testbed, random_state=7, **spec.simulator_kwargs)
+    result = sim.run(2000, fault_injector=spec.injector)
+
+Scenarios are deterministic: the same name and integer seed always
+produce the same testbed, schedule distribution, and (through
+:func:`repro.datasets.make_scenario_dataset`) byte-identical datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nfv.faults import FaultInjector, FaultKind
+from repro.nfv.sfc import SLA
+from repro.nfv.simulator import Testbed, build_testbed
+from repro.nfv.topology import NfviTopology
+from repro.nfv.traffic import TrafficModel
+from repro.utils.rng import check_random_state
+
+__all__ = [
+    "ScenarioSpec",
+    "register_scenario",
+    "list_scenarios",
+    "scenario_descriptions",
+    "scenario_knobs",
+    "build_scenario",
+]
+
+
+@dataclass
+class ScenarioSpec:
+    """One fully-configured workload scenario, ready to simulate.
+
+    Attributes
+    ----------
+    name:
+        Registry name the spec was built from.
+    description:
+        One-line operator-facing summary of the regime.
+    testbed:
+        Placed deployment (topology + monitored chain + background).
+    injector:
+        Fault injector to draw schedules from (``None`` = fault-free).
+    simulator_kwargs:
+        Extra keyword arguments for :class:`~repro.nfv.simulator.Simulator`
+        (e.g. ``measurement_noise``).
+    default_epochs:
+        Suggested run length for a representative dataset.
+    knobs:
+        The resolved knob values the generator used (for reports).
+    """
+
+    name: str
+    description: str
+    testbed: Testbed
+    injector: FaultInjector | None
+    simulator_kwargs: dict = field(default_factory=dict)
+    default_epochs: int = 2000
+    knobs: dict = field(default_factory=dict)
+
+
+#: name -> (generator, description, default knobs)
+_REGISTRY: dict[str, tuple] = {}
+
+
+def register_scenario(name: str, description: str, **default_knobs):
+    """Decorator registering ``fn(rng, **knobs) -> ScenarioSpec``.
+
+    ``default_knobs`` document (and default) the tunable parameters of
+    the scenario; callers may override any of them through
+    :func:`build_scenario`.
+    """
+
+    def decorator(fn):
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = (fn, description, dict(default_knobs))
+        return fn
+
+    return decorator
+
+
+def list_scenarios() -> list[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+def scenario_descriptions() -> dict[str, str]:
+    """Mapping of scenario name to its one-line description."""
+    return {name: entry[1] for name, entry in sorted(_REGISTRY.items())}
+
+
+def scenario_knobs(name: str) -> dict:
+    """Default knob values of one scenario (for docs and reports)."""
+    _, _, knobs = _lookup(name)
+    return dict(knobs)
+
+
+def _lookup(name: str):
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {list_scenarios()}"
+        ) from None
+
+
+def build_scenario(name: str, *, random_state=None, **knobs) -> ScenarioSpec:
+    """Build one scenario's :class:`ScenarioSpec` by registry name.
+
+    Parameters
+    ----------
+    name:
+        A name from :func:`list_scenarios`.
+    random_state:
+        Seed/generator for the stochastic parts of testbed construction
+        (background-traffic phases, server speeds, ...).  The same seed
+        reproduces the same spec exactly.
+    knobs:
+        Scenario-specific overrides; unknown knobs raise ``TypeError``
+        so typos fail loudly.
+    """
+    fn, description, defaults = _lookup(name)
+    unknown = set(knobs) - set(defaults)
+    if unknown:
+        raise TypeError(
+            f"scenario {name!r} got unknown knobs {sorted(unknown)}; "
+            f"accepted: {sorted(defaults)}"
+        )
+    resolved = {**defaults, **knobs}
+    rng = check_random_state(random_state)
+    spec = fn(rng, **resolved)
+    spec.name = name
+    spec.description = description
+    spec.knobs = resolved
+    return spec
+
+
+def _spec(testbed, injector, simulator_kwargs=None, default_epochs=2000):
+    """Internal helper: generators fill name/description via the registry."""
+    return ScenarioSpec(
+        name="",
+        description="",
+        testbed=testbed,
+        injector=injector,
+        simulator_kwargs=dict(simulator_kwargs or {}),
+        default_epochs=default_epochs,
+    )
+
+
+# ----------------------------------------------------------------------
+# the catalog
+# ----------------------------------------------------------------------
+@register_scenario(
+    "baseline",
+    "the paper's canonical testbed: mixed faults at a low rate",
+    base_kpps=400.0,
+    fault_rate=0.01,
+)
+def _baseline(rng, *, base_kpps, fault_rate):
+    testbed = build_testbed(base_kpps=base_kpps, random_state=rng)
+    return _spec(testbed, FaultInjector(rate=fault_rate))
+
+
+@register_scenario(
+    "bursty-traffic",
+    "CDN-style load: frequent heavy-tailed flash crowds, surge faults",
+    base_kpps=380.0,
+    flash_crowd_rate=0.02,
+    flash_magnitude=2.6,
+    fault_rate=0.012,
+)
+def _bursty_traffic(rng, *, base_kpps, flash_crowd_rate, flash_magnitude, fault_rate):
+    testbed = build_testbed(base_kpps=base_kpps, random_state=rng)
+    testbed.traffic = TrafficModel(
+        base_kpps=base_kpps,
+        diurnal_amplitude=0.2,
+        noise_sigma=0.15,
+        flash_crowd_rate=flash_crowd_rate,
+        flash_magnitude=flash_magnitude,
+        flash_duration_epochs=20,
+    )
+    injector = FaultInjector(
+        kinds=[FaultKind.TRAFFIC_SURGE, FaultKind.CPU_CONTENTION],
+        rate=fault_rate,
+        duration_range=(8, 30),
+    )
+    return _spec(testbed, injector)
+
+
+@register_scenario(
+    "diurnal",
+    "ISP-style day/night swing: violations cluster at the daily peak",
+    base_kpps=420.0,
+    diurnal_amplitude=0.6,
+    period_epochs=288,
+    fault_rate=0.008,
+)
+def _diurnal(rng, *, base_kpps, diurnal_amplitude, period_epochs, fault_rate):
+    testbed = build_testbed(base_kpps=base_kpps, random_state=rng)
+    testbed.traffic = TrafficModel(
+        base_kpps=base_kpps,
+        diurnal_amplitude=diurnal_amplitude,
+        period_epochs=period_epochs,
+        noise_sigma=0.05,
+        flash_crowd_rate=0.001,
+    )
+    return _spec(testbed, FaultInjector(rate=fault_rate))
+
+
+@register_scenario(
+    "fault-storm",
+    "rollout gone wrong: short, frequent, severe faults of every kind",
+    fault_rate=0.06,
+    severity_range=(0.5, 1.0),
+)
+def _fault_storm(rng, *, fault_rate, severity_range):
+    testbed = build_testbed(random_state=rng)
+    injector = FaultInjector(
+        rate=fault_rate,
+        duration_range=(5, 20),
+        severity_range=severity_range,
+    )
+    return _spec(testbed, injector)
+
+
+@register_scenario(
+    "cascading-overload",
+    "dense co-location near the knee: contention faults cascade",
+    base_kpps=450.0,
+    n_background=4,
+    fault_rate=0.015,
+)
+def _cascading_overload(rng, *, base_kpps, n_background, fault_rate):
+    testbed = build_testbed(
+        base_kpps=base_kpps, n_background=n_background, random_state=rng
+    )
+    injector = FaultInjector(
+        kinds=[FaultKind.CPU_CONTENTION, FaultKind.TRAFFIC_SURGE],
+        rate=fault_rate,
+        duration_range=(10, 30),
+        severity_range=(0.5, 0.9),
+    )
+    return _spec(testbed, injector)
+
+
+@register_scenario(
+    "noisy-telemetry",
+    "degraded monitoring plane: 12% relative measurement noise",
+    measurement_noise=0.12,
+    fault_rate=0.01,
+)
+def _noisy_telemetry(rng, *, measurement_noise, fault_rate):
+    testbed = build_testbed(random_state=rng)
+    return _spec(
+        testbed,
+        FaultInjector(rate=fault_rate),
+        simulator_kwargs={"measurement_noise": measurement_noise},
+    )
+
+
+@register_scenario(
+    "long-chain",
+    "an 8-VNF service chain spread over six servers, relaxed SLA",
+    base_kpps=320.0,
+    fault_rate=0.01,
+)
+def _long_chain(rng, *, base_kpps, fault_rate):
+    topology = NfviTopology.leaf_spine(
+        n_spine=2, n_leaf=2, servers_per_leaf=3, cpu_cores=8.0, mem_mb=16384.0
+    )
+    testbed = build_testbed(
+        chain_types=(
+            "firewall", "nat", "ids", "lb", "dpi", "wanopt", "cache",
+            "transcoder",
+        ),
+        base_kpps=base_kpps,
+        sla=SLA(max_latency_ms=5.0, max_loss_rate=0.01),
+        topology=topology,
+        random_state=rng,
+    )
+    return _spec(testbed, FaultInjector(rate=fault_rate))
+
+
+@register_scenario(
+    "heterogeneous-servers",
+    "mixed-generation fleet: per-server CPU speeds in [0.6, 1.4]",
+    speed_range=(0.6, 1.4),
+    fault_rate=0.01,
+)
+def _heterogeneous_servers(rng, *, speed_range, fault_rate):
+    lo, hi = speed_range
+    if not 0.0 < lo <= hi:
+        raise ValueError(f"bad speed_range {speed_range}")
+    topology = NfviTopology.leaf_spine(
+        n_spine=2, n_leaf=2, servers_per_leaf=2, cpu_cores=8.0, mem_mb=16384.0
+    )
+    for server_id in sorted(topology.servers):
+        topology.servers[server_id].cpu_speed = float(rng.uniform(lo, hi))
+    testbed = build_testbed(topology=topology, random_state=rng)
+    return _spec(testbed, FaultInjector(rate=fault_rate))

@@ -126,10 +126,16 @@ class SimulationResult:
 
     @property
     def violation_rate(self) -> float:
+        """Fraction of epochs that violated the SLA (0.0 for an empty
+        run — never NaN, so downstream aggregation stays warning-free)."""
+        if self.n_epochs == 0:
+            return 0.0
         return float(np.mean(self.sla_violation))
 
     def summary(self) -> str:
         """One-paragraph run summary for logs and examples."""
+        if self.n_epochs == 0:
+            return "0 epochs | empty run (no telemetry recorded)"
         causes, counts = np.unique(self.root_cause, return_counts=True)
         cause_txt = ", ".join(f"{c}: {n}" for c, n in zip(causes, counts))
         return (

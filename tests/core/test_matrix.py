@@ -1,0 +1,176 @@
+"""Tests for the scenario matrix experiment runner (repro.core.matrix)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import (
+    MatrixReport,
+    default_explainer_kwargs,
+    default_model_factories,
+    run_scenario_matrix,
+)
+
+SCENARIOS = ["baseline", "noisy-telemetry"]
+EXPLAINERS = ("kernel_shap", "lime")
+#: Tiny budgets: the matrix mechanics, not estimator quality, are under test.
+FAST_KWARGS = {
+    "kernel_shap": {"n_samples": 64},
+    "lime": {"n_samples": 100},
+}
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_scenario_matrix(
+        SCENARIOS,
+        explainers=EXPLAINERS,
+        n_epochs=250,
+        n_explain=4,
+        explainer_kwargs=FAST_KWARGS,
+        random_state=0,
+    )
+
+
+class TestRunScenarioMatrix:
+    def test_full_cross_product(self, report):
+        assert len(report.cells) == 2 * 2 * 2
+        coords = {(c.scenario, c.model, c.explainer) for c in report.cells}
+        assert len(coords) == len(report.cells)
+        assert report.models == ["random_forest", "logistic_regression"]
+
+    def test_cells_use_vectorized_batch_path(self, report):
+        assert all(c.vectorized for c in report.cells)
+
+    def test_metrics_are_finite(self, report):
+        for c in report.cells:
+            assert np.isfinite(c.test_accuracy)
+            assert np.isfinite(c.deletion_auc)
+            assert np.isfinite(c.insertion_auc)
+            assert np.isfinite(c.random_deletion_auc)
+            assert np.isfinite(c.comprehensiveness)
+            assert 0.0 <= c.violation_rate <= 1.0
+            assert c.n_explained == 4
+
+    def test_agreement_filled_for_multi_explainer_cells(self, report):
+        for c in report.cells:
+            assert c.agreement_spearman is not None
+            assert -1.0 <= c.agreement_spearman <= 1.0
+
+    def test_cell_lookup(self, report):
+        cell = report.cell("baseline", "random_forest", "kernel_shap")
+        assert cell.explainer == "kernel_shap"
+        with pytest.raises(KeyError):
+            report.cell("baseline", "random_forest", "nope")
+
+    def test_format_table_mentions_every_coordinate(self, report):
+        table = report.format_table()
+        for scenario in SCENARIOS:
+            assert scenario in table
+        for method in EXPLAINERS:
+            assert method in table
+        assert "del.AUC" in table
+
+    def test_to_rows_roundtrip(self, report):
+        rows = report.to_rows()
+        assert len(rows) == len(report.cells)
+        assert rows[0]["scenario"] == report.cells[0].scenario
+
+    def test_deterministic_given_seed(self, report):
+        again = run_scenario_matrix(
+            SCENARIOS,
+            explainers=EXPLAINERS,
+            n_epochs=250,
+            n_explain=4,
+            explainer_kwargs=FAST_KWARGS,
+            random_state=0,
+        )
+        for a, b in zip(report.cells, again.cells):
+            assert (a.scenario, a.model, a.explainer) == (
+                b.scenario, b.model, b.explainer
+            )
+            assert a.deletion_auc == b.deletion_auc
+            assert a.comprehensiveness == b.comprehensiveness
+
+    def test_progress_callback_fires_per_cell(self):
+        lines = []
+        run_scenario_matrix(
+            ["baseline"],
+            models={
+                "logistic_regression":
+                    default_model_factories()["logistic_regression"],
+            },
+            explainers=("kernel_shap",),
+            n_epochs=200,
+            n_explain=2,
+            explainer_kwargs=FAST_KWARGS,
+            random_state=0,
+            progress=lines.append,
+        )
+        assert len(lines) == 1
+        assert "baseline" in lines[0]
+
+    def test_stability_metric_optional(self):
+        report = run_scenario_matrix(
+            ["baseline"],
+            models={
+                "logistic_regression":
+                    default_model_factories()["logistic_regression"],
+            },
+            explainers=("kernel_shap", "lime"),
+            n_epochs=200,
+            n_explain=2,
+            explainer_kwargs=FAST_KWARGS,
+            stability_repeats=3,
+            random_state=0,
+        )
+        for c in report.cells:
+            assert c.stability_cosine is not None
+            assert -1.0 <= c.stability_cosine <= 1.0
+
+
+class TestValidation:
+    def test_empty_scenarios(self):
+        with pytest.raises(ValueError, match="scenarios"):
+            run_scenario_matrix([])
+
+    def test_empty_explainers(self):
+        with pytest.raises(ValueError, match="explainers"):
+            run_scenario_matrix(["baseline"], explainers=())
+
+    def test_bad_n_explain(self):
+        with pytest.raises(ValueError, match="n_explain"):
+            run_scenario_matrix(["baseline"], n_explain=0)
+
+    def test_bad_stability_repeats(self):
+        for value in (1, -3):
+            with pytest.raises(ValueError, match="stability_repeats"):
+                run_scenario_matrix(["baseline"], stability_repeats=value)
+
+    def test_unknown_scenario_propagates(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_scenario_matrix(["nope"], n_epochs=50)
+
+
+class TestDefaults:
+    def test_model_factories_return_fresh_instances(self):
+        factories = default_model_factories()
+        assert set(factories) == {
+            "random_forest", "gradient_boosting",
+            "logistic_regression", "mlp",
+        }
+        a = factories["random_forest"]()
+        b = factories["random_forest"]()
+        assert a is not b
+
+    def test_explainer_kwargs_known_and_unknown(self):
+        assert default_explainer_kwargs("kernel_shap")["n_samples"] == 256
+        assert default_explainer_kwargs("tree_shap") == {}
+
+
+class TestMatrixReportEmpty:
+    def test_format_table_handles_no_cells(self):
+        report = MatrixReport(
+            cells=[], scenarios=[], models=[], explainers=[],
+            n_epochs=0, n_explain=0,
+        )
+        assert "scenario" in report.format_table()

@@ -113,9 +113,45 @@ class TestFaultInjector:
     def test_duration_range_respected(self, placed_chain):
         injector = FaultInjector(rate=0.05, duration_range=(5, 8))
         events = injector.schedule(2000, placed_chain, random_state=5)
+        assert events
         for event in events:
-            # final event may be truncated by the horizon
-            assert event.duration <= 8
+            assert 5 <= event.duration <= 8
+
+    def test_boundary_events_stay_within_horizon(self, placed_chain):
+        """Regression: a draw near the end of the run must never produce
+        an event with ``end_epoch > n_epochs``, for any seed."""
+        injector = FaultInjector(rate=1.0, duration_range=(10, 40))
+        for seed in range(50):
+            for n_epochs in (11, 12, 25, 41, 60):
+                events = injector.schedule(
+                    n_epochs, placed_chain, random_state=seed
+                )
+                for event in events:
+                    assert event.end_epoch <= n_epochs
+                    assert 10 <= event.duration <= 40
+
+    def test_boundary_durations_respect_range_floor(self, placed_chain):
+        """Near the horizon the duration is re-drawn from the feasible
+        part of duration_range, not clipped into a mislabelled stub."""
+        injector = FaultInjector(rate=1.0, duration_range=(10, 40))
+        events = injector.schedule(12, placed_chain, random_state=0)
+        assert events  # remaining=12 >= lo=10, so a fault still fits
+        for event in events:
+            assert 10 <= event.duration <= 12
+            assert event.end_epoch <= 12
+
+    def test_no_event_when_minimum_duration_does_not_fit(self, placed_chain):
+        injector = FaultInjector(rate=1.0, duration_range=(10, 40))
+        for seed in range(20):
+            assert injector.schedule(9, placed_chain, random_state=seed) == []
+
+    def test_boundary_schedules_non_overlapping(self, placed_chain):
+        injector = FaultInjector(rate=0.5, duration_range=(3, 30))
+        for seed in range(30):
+            events = injector.schedule(80, placed_chain, random_state=seed)
+            ordered = sorted(events, key=lambda e: e.start_epoch)
+            for a, b in zip(ordered, ordered[1:]):
+                assert not a.overlaps(b)
 
     def test_parameter_validation(self):
         with pytest.raises(ValueError, match="kinds"):

@@ -244,3 +244,40 @@ class TestBuildTestbed:
     def test_custom_chain_types(self):
         tb = build_testbed(chain_types=("firewall", "cache"), random_state=0)
         assert tb.chain.vnf_types == ["firewall", "cache"]
+
+
+class TestEmptyResult:
+    """Zero-epoch SimulationResult regression (sliced/aggregated runs)."""
+
+    @staticmethod
+    def _empty_result():
+        from repro.nfv.simulator import SimulationResult
+        from repro.utils.tabular import FeatureMatrix
+
+        return SimulationResult(
+            features=FeatureMatrix(np.empty((0, 2)), ["a", "b"]),
+            latency_ms=np.empty(0),
+            loss_rate=np.empty(0),
+            sla_violation=np.empty(0, dtype=np.int64),
+            root_cause=np.asarray([], dtype=object),
+            culprit_vnfs=[],
+            events=[],
+        )
+
+    def test_violation_rate_zero_not_nan(self):
+        import warnings
+
+        result = self._empty_result()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # RuntimeWarning would fail
+            assert result.violation_rate == 0.0
+
+    def test_summary_renders_without_warning(self):
+        import warnings
+
+        result = self._empty_result()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            text = result.summary()
+        assert "0 epochs" in text
+        assert "nan" not in text.lower()

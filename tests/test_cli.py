@@ -111,3 +111,127 @@ class TestExplainBatch:
              "--epoch-indices", "1,foo"]
         )
         assert code == 1
+
+    def test_limit_zero_is_a_clear_error(self, capsys):
+        """Regression: --limit 0 used to fall through to a misleading
+        'no violations' message; degenerate limits now fail at parse."""
+        with pytest.raises(SystemExit) as exc:
+            main(["explain-batch", "--epochs", "300", "--limit", "0"])
+        assert exc.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_negative_limit_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["explain-batch", "--epochs", "300", "--limit", "-4"])
+
+    def test_zero_epochs_rejected_before_simulation(self, capsys):
+        """Regression: --epochs 0 used to surface as a raw ValueError
+        traceback from the simulator."""
+        with pytest.raises(SystemExit) as exc:
+            main(["explain-batch", "--epochs", "0"])
+        assert exc.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_limit_larger_than_dataset_caps_cleanly(self, capsys):
+        code = main(
+            ["explain-batch", "--epochs", "600", "--seed", "3",
+             "--limit", "1000000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "diagnosed" in out
+
+    def test_blank_indices_are_a_clear_error(self, capsys):
+        code = main(
+            ["explain-batch", "--epochs", "300", "--seed", "3",
+             "--epoch-indices", ","]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "names no epochs" in out
+
+
+class TestScenarios:
+    def test_list_prints_catalog(self, capsys):
+        code = main(["scenarios", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("baseline", "fault-storm", "long-chain"):
+            assert name in out
+        assert "knobs" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+
+    def test_run_unknown_scenario(self, capsys):
+        code = main(["scenarios", "run", "--scenarios", "nope"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "unknown scenarios" in out
+
+    def test_run_unknown_model(self, capsys):
+        code = main(
+            ["scenarios", "run", "--scenarios", "baseline",
+             "--models", "svm"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "unknown models" in out
+
+    def test_run_empty_lists(self, capsys):
+        code = main(["scenarios", "run", "--scenarios", ","])
+        assert code == 1
+
+    def test_whitespace_around_commas_is_tolerated(self, capsys):
+        code = main(
+            ["scenarios", "run", "--scenarios", "baseline, nope",
+             "--models", "random_forest"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        # 'nope' must be reported stripped — not as ' nope'
+        assert "unknown scenarios ['nope']" in out
+
+    def test_model_names_match_factory_registry(self):
+        from repro.cli import _MODEL_NAMES
+        from repro.core.matrix import default_model_factories
+
+        assert tuple(sorted(default_model_factories())) == _MODEL_NAMES
+
+    def test_run_bad_stability_repeats(self, capsys):
+        for value in ("1", "-3"):
+            code = main(
+                ["scenarios", "run", "--scenarios", "baseline",
+                 "--stability-repeats", value]
+            )
+            out = capsys.readouterr().out
+            assert code == 1
+            assert "must be 0 or >= 2" in out
+
+    def test_run_unknown_explainer_rejected_before_sweeping(self, capsys):
+        """Pre-flight check: a typo'd explainer must not cost a full
+        dataset generation + model fit before crashing."""
+        code = main(
+            ["scenarios", "run", "--scenarios", "baseline",
+             "--explainers", "kernel_shap,nope"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "unknown explainers ['nope']" in out
+
+    def test_run_small_matrix(self, capsys):
+        """A 3-scenario × 2-model × 2-explainer matrix end to end."""
+        code = main(
+            ["scenarios", "run",
+             "--scenarios", "baseline,noisy-telemetry,fault-storm",
+             "--models", "random_forest,logistic_regression",
+             "--explainers", "kernel_shap,lime",
+             "--epochs", "250", "--explain", "3", "--seed", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "12 cells" in out
+        assert "del.AUC" in out
+        for name in ("baseline", "noisy-telemetry", "fault-storm"):
+            assert name in out
