@@ -18,6 +18,11 @@ and background evaluation — the fleet-triage fast path); ``scenarios``
 lists the workload catalog and sweeps the scenario × model × explainer
 matrix; ``validate`` runs the explainers against closed-form ground
 truth (a smoke test for installations).
+
+The two fleet-scale commands (``explain-batch`` and ``scenarios run``)
+accept ``--workers N --backend {serial,thread,process}`` to fan work
+out across an execution backend (:mod:`repro.core.executor`); results
+are identical to the serial run for a fixed ``--seed``.
 """
 
 from __future__ import annotations
@@ -111,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="explainer (auto, tree_shap, kernel_shap, lime, ...)",
     )
     batch.add_argument("--top-k", type=int, default=3)
+    _add_parallel_args(batch)
 
     scenarios = sub.add_parser(
         "scenarios",
@@ -143,9 +149,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="add the input-stability metric with N >= 2 repeats (0 = off)",
     )
     run.add_argument("--seed", type=int, default=0)
+    _add_parallel_args(run)
 
     sub.add_parser("validate", help="check explainers vs ground truth")
     return parser
+
+
+def _add_parallel_args(parser) -> None:
+    """``--workers`` / ``--backend`` shared by the parallel hot paths."""
+    parser.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="worker budget for parallel execution "
+             "(default: 1, i.e. serial; with --backend, all usable CPUs)",
+    )
+    parser.add_argument(
+        "--backend", choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="execution backend: serial, thread (numpy-bound models), "
+             "process (interpreter-bound); auto = serial unless "
+             "--workers > 1, then process.  Results are identical "
+             "across backends for a fixed --seed",
+    )
 
 
 def _load_dataset(args, horizon: int = 0):
@@ -252,9 +276,12 @@ def _cmd_explain_batch(args) -> int:
             print("no violations in this trace; pass --epoch-indices")
             return 1
 
+    from repro.core.executor import get_executor
+
     X = dataset.X.values[indices]
     start = time.perf_counter()
-    diagnoses = pipeline.diagnose_batch(X)
+    with get_executor(args.backend, args.workers) as executor:
+        diagnoses = pipeline.diagnose_batch(X, executor=executor)
     elapsed = time.perf_counter() - start
 
     chain = pipeline.chain_
@@ -285,7 +312,9 @@ def _cmd_explain_batch(args) -> int:
     n_alerts = sum(d.alert for d in diagnoses)
     print(f"\ndiagnosed {len(diagnoses)} epochs ({n_alerts} alerts) "
           f"in {elapsed:.2f}s — {mode}, "
-          f"method={pipeline.explainer_.method_name}")
+          f"method={pipeline.explainer_.method_name}, "
+          f"backend={executor.backend}"
+          + (f" x{executor.workers}" if executor.backend != "serial" else ""))
     return 0
 
 
@@ -341,15 +370,20 @@ def _cmd_scenarios(args) -> int:
         n_explain=args.explain,
         stability_repeats=args.stability_repeats,
         random_state=args.seed,
+        backend=args.backend,
+        workers=args.workers,
         progress=print,
     )
     print()
     print(report.format_table())
+    backend = report.extras.get("backend", "serial")
+    workers = report.extras.get("workers", 1)
     print(
         f"\n{len(report.cells)} cells "
         f"({len(scenarios)} scenarios × {len(models)} models × "
         f"{len(explainers)} explainers), {args.epochs} epochs each, "
-        f"seed={args.seed}"
+        f"seed={args.seed}, backend={backend}"
+        + (f" x{workers}" if backend != "serial" else "")
     )
     return 0
 

@@ -12,6 +12,13 @@
 """
 
 from repro.core.cache import cache_stats, clear_cache, get_cache
+from repro.core.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_workers,
+    get_executor,
+)
 from repro.core.explainers import (
     BatchExplanation,
     CounterfactualExplainer,
@@ -41,6 +48,7 @@ from repro.core.pipeline import NFVDiagnosis, NFVExplainabilityPipeline
 from repro.core.rootcause import RootCauseEvaluator, vnf_attribution_scores
 
 __all__ = [
+    "available_workers",
     "BatchExplanation",
     "cache_stats",
     "clear_cache",
@@ -49,6 +57,10 @@ __all__ = [
     "ExactShapleyExplainer",
     "Explanation",
     "get_cache",
+    "get_executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
     "GlobalExplanation",
     "IntegratedGradientsExplainer",
     "InterventionalTreeShapExplainer",

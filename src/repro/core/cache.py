@@ -25,6 +25,27 @@ Both are memoized here, keyed and validated so a hit is safe:
   cached only for deterministic integer seeds — a live ``Generator``
   must advance, so those requests bypass the cache.
 
+Parallel execution adds two constraints, both handled here:
+
+* **Threads** — the thread backend explains chunks of one fleet
+  concurrently through the same module-level cache, so every public
+  operation takes an internal lock.  Lookups release it around model
+  calls (probes and recomputes); a racing miss computes the same value
+  twice and stores it idempotently, which costs a little work, never
+  correctness.
+* **Processes** — weakref identity keys cannot cross a process
+  boundary: a worker that unpickles an explainer gets a brand-new
+  predict-function object, so identity lookups silently miss and every
+  shard would cold-start its background sweep.  Predict functions that
+  expose a ``cache_token()`` (see
+  :class:`~repro.core.explainers.ModelOutputFn`) therefore get a
+  *fallback* entry keyed by ``(token, background fingerprint)`` — the
+  token is built from the model's constructor repr, so a rebuilt
+  wrapper around an equal model still hits.  Token collisions (two
+  differently-fit models with identical parameters) are rendered
+  harmless by the same probe-row spot-check that guards in-place
+  refits.
+
 The module-level singleton is what the explainers use; call
 :func:`clear_cache` between unrelated experiments if you want cold
 timings, and :func:`cache_stats` to see hit rates.
@@ -33,6 +54,7 @@ timings, and :func:`cache_stats` to see hit rates.
 from __future__ import annotations
 
 import hashlib
+import threading
 import weakref
 from collections import OrderedDict
 
@@ -84,53 +106,116 @@ class ExplainerCache:
         self._backgrounds: "weakref.WeakKeyDictionary" = (
             weakref.WeakKeyDictionary()
         )
+        # (cache_token, fingerprint) -> predictions; survives the loss
+        # of object identity across pickling/process boundaries
+        self._background_tokens: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self._designs: OrderedDict[tuple, tuple] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     # -- background predictions ---------------------------------------
+    @staticmethod
+    def _token_of(predict_fn) -> str | None:
+        """The predict function's ``cache_token()``, when it offers one."""
+        token_fn = getattr(predict_fn, "cache_token", None)
+        if callable(token_fn):
+            return str(token_fn())
+        return None
+
+    @staticmethod
+    def _probe_matches(predict_fn, background, cached) -> bool:
+        """Spot-check a cached entry against live predictions on the
+        first, middle, and last background rows."""
+        if len(background) == 0:
+            return True
+        idx = sorted({0, len(background) // 2, len(background) - 1})
+        probe = np.asarray(predict_fn(background[idx]), dtype=float)
+        return probe.shape == cached[idx].shape and np.array_equal(
+            probe, cached[idx]
+        )
+
+    def _store_token(self, token: str, key: str, preds: np.ndarray) -> None:
+        """Insert/refresh a token-fallback entry (caller holds the lock)."""
+        self._background_tokens[(token, key)] = preds
+        self._background_tokens.move_to_end((token, key))
+        while len(self._background_tokens) > self.max_backgrounds:
+            self._background_tokens.popitem(last=False)
+
     def background_predictions(self, predict_fn, background) -> np.ndarray:
         """``predict_fn(background)`` memoized by function identity and
         background content.  Returns a read-only 1-D float array.
 
-        Hits are spot-checked by re-predicting the first, middle, and
-        last background rows: if the model behind ``predict_fn`` was
-        refit in place (same function object, new behaviour), any
-        mismatch discards the entry instead of serving stale
-        predictions.  A refit that coincides with the old model on all
-        three probe rows is undetectable — build a fresh predict
-        function for a refit model to be certain.
+        Lookup is two-tier.  The primary key is the *identity* of
+        ``predict_fn`` (held weakly).  Identity does not survive
+        pickling — every process-backend shard unpickles a fresh
+        function object — so functions exposing ``cache_token()``
+        (e.g. :class:`~repro.core.explainers.ModelOutputFn`) also get a
+        fallback entry keyed by ``(token, background fingerprint)``,
+        which a rebuilt wrapper around an equal model still hits.
+
+        Every hit from either tier is spot-checked by re-predicting the
+        first, middle, and last background rows: if the model behind
+        ``predict_fn`` was refit in place (or a token collision aliases
+        two models with equal constructor parameters), any mismatch
+        discards the entry instead of serving stale predictions.  A
+        wrong model that coincides with the cached one on all three
+        probe rows is undetectable — build a fresh predict function for
+        a refit model to be certain.
+
+        Thread-safe: bookkeeping happens under the cache lock, model
+        calls (probes, recomputes) outside it.
         """
         background = np.asarray(background, dtype=float)
-        try:
-            per_fn = self._backgrounds.get(predict_fn)
-        except TypeError:  # not weak-referenceable -> skip the cache
-            self.misses += 1
-            return np.asarray(predict_fn(background), dtype=float)
         key = array_fingerprint(background)
-        if per_fn is not None and key in per_fn:
-            cached = per_fn[key]
-            if len(background) == 0:
-                self.hits += 1
+        token = self._token_of(predict_fn)
+        cached = None
+        uncacheable = False
+        with self._lock:
+            try:
+                per_fn = self._backgrounds.get(predict_fn)
+            except TypeError:  # not weak-referenceable
+                per_fn = None
+                if token is None:  # and no token either -> uncacheable
+                    self.misses += 1
+                    uncacheable = True
+            if not uncacheable:
+                if per_fn is not None and key in per_fn:
+                    cached = per_fn[key]
+                elif token is not None:
+                    cached = self._background_tokens.get((token, key))
+        if uncacheable:  # model call outside the lock
+            return np.asarray(predict_fn(background), dtype=float)
+        if cached is not None:
+            if self._probe_matches(predict_fn, background, cached):
+                with self._lock:
+                    self.hits += 1
+                    if per_fn is not None and key in per_fn:
+                        per_fn.move_to_end(key)
+                    if token is not None:
+                        self._store_token(token, key, cached)
                 return cached
-            idx = sorted({0, len(background) // 2, len(background) - 1})
-            probe = np.asarray(predict_fn(background[idx]), dtype=float)
-            if probe.shape == cached[idx].shape and np.array_equal(
-                probe, cached[idx]
-            ):
-                self.hits += 1
-                per_fn.move_to_end(key)
-                return cached
-            del per_fn[key]  # model changed behind the function
-        self.misses += 1
+            with self._lock:  # model changed behind the key(s)
+                if per_fn is not None:
+                    per_fn.pop(key, None)
+                if token is not None:
+                    self._background_tokens.pop((token, key), None)
         preds = np.asarray(predict_fn(background), dtype=float).copy()
         preds.flags.writeable = False
-        if per_fn is None:
-            per_fn = OrderedDict()
-            self._backgrounds[predict_fn] = per_fn
-        per_fn[key] = preds
-        while len(per_fn) > self.max_backgrounds:
-            per_fn.popitem(last=False)
+        with self._lock:
+            self.misses += 1
+            try:
+                per_fn = self._backgrounds.get(predict_fn)
+                if per_fn is None:
+                    per_fn = OrderedDict()
+                    self._backgrounds[predict_fn] = per_fn
+                per_fn[key] = preds
+                while len(per_fn) > self.max_backgrounds:
+                    per_fn.popitem(last=False)
+            except TypeError:  # not weak-referenceable: token tier only
+                pass
+            if token is not None:
+                self._store_token(token, key, preds)
         return preds
 
     # -- coalition designs --------------------------------------------
@@ -141,38 +226,47 @@ class ExplainerCache:
         sample budget, pairing, integer seed).  Arrays are stored
         read-only and shared between callers.
         """
-        if key in self._designs:
-            self.hits += 1
-            self._designs.move_to_end(key)
-            return self._designs[key]
-        self.misses += 1
+        with self._lock:
+            if key in self._designs:
+                self.hits += 1
+                self._designs.move_to_end(key)
+                return self._designs[key]
+        # build outside the lock: racing threads may build the same
+        # design twice, but it is deterministic, so either copy is valid
         masks, weights = build_fn()
         masks = np.asarray(masks)
         weights = np.asarray(weights, dtype=float)
         masks.flags.writeable = False
         weights.flags.writeable = False
-        self._designs[key] = (masks, weights)
-        while len(self._designs) > self.max_designs:
-            self._designs.popitem(last=False)
-        return masks, weights
+        with self._lock:
+            self.misses += 1
+            if key not in self._designs:
+                self._designs[key] = (masks, weights)
+            while len(self._designs) > self.max_designs:
+                self._designs.popitem(last=False)
+            return self._designs[key]
 
     # -- bookkeeping ---------------------------------------------------
     def clear(self) -> None:
         """Drop every cached entry and reset the hit/miss counters."""
-        self._backgrounds.clear()
-        self._designs.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._backgrounds.clear()
+            self._background_tokens.clear()
+            self._designs.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict:
         """Hit/miss counters and current entry counts."""
-        n_bg = sum(len(d) for d in self._backgrounds.values())
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "background_entries": n_bg,
-            "design_entries": len(self._designs),
-        }
+        with self._lock:
+            n_bg = sum(len(d) for d in self._backgrounds.values())
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "background_entries": n_bg,
+                "background_token_entries": len(self._background_tokens),
+                "design_entries": len(self._designs),
+            }
 
 
 _GLOBAL_CACHE = ExplainerCache()

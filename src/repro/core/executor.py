@@ -1,0 +1,233 @@
+"""Execution backends for sharded experiments and chunked explanation.
+
+The scenario matrix and the batched explanation engine both reduce to
+the same shape of work: a list of independent, deterministic tasks
+whose results are reassembled in task order.  This module gives that
+shape one abstraction — an :class:`Executor` with an ordered
+:meth:`~Executor.map` — and three interchangeable backends:
+
+* :class:`SerialExecutor` — runs tasks inline, in order.  The
+  reference semantics every other backend must reproduce exactly.
+* :class:`ThreadExecutor` — a thread pool.  Python threads share one
+  interpreter, but the heavy lifting here is numpy, which releases the
+  GIL inside BLAS/ufunc kernels, so threads pay no pickling cost and
+  win whenever the workload is model-evaluation-bound.  Shared state
+  (the explainer cache) is protected by a lock, not by luck.
+* :class:`ProcessExecutor` — a process pool for interpreter-bound
+  work (tree traversals, per-row solves, pure-Python combinatorics).
+  Tasks and results cross the boundary by pickling, so task payloads
+  must be picklable; worker processes rebuild per-process caches
+  instead of inheriting live ones.
+
+Determinism is a contract, not an accident: tasks must be pure
+functions of their arguments, and any randomness a shard needs comes
+from :func:`repro.utils.rng.spawn_seeds` — integer child seeds derived
+from the experiment seed and the shard *index*, never from shared
+generator state or completion order.  Under that contract
+``executor.map`` returns bit-identical results on every backend, which
+``tests/core/test_executor.py`` enforces.
+
+Pick a backend by name through :func:`get_executor` (``"auto"``
+resolves to serial for one worker and processes otherwise), and bound
+parallelism with :func:`available_workers`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.utils.rng import spawn_seeds
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "available_workers",
+    "get_executor",
+]
+
+#: Backend names accepted by :func:`get_executor` (besides ``"auto"``).
+BACKENDS = ("serial", "thread", "process")
+
+
+def available_workers() -> int:
+    """CPUs actually usable by this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+class Executor:
+    """Ordered-map execution over a fixed worker budget.
+
+    Subclasses implement :meth:`map`; everything else (seeded mapping,
+    context management, idempotent shutdown) is shared.  Executors are
+    reusable across calls and must be closed (or used as context
+    managers) so pool backends release their workers.
+    """
+
+    backend: str = "base"
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+
+    def map(self, fn, *iterables) -> list:
+        """Apply ``fn`` over ``zip(*iterables)``; results in task order.
+
+        The first raised exception propagates to the caller, matching
+        the builtin ``map`` contract on every backend.
+        """
+        return list(self.imap(fn, *iterables))
+
+    def imap(self, fn, *iterables):
+        """Like :meth:`map` but yields results as an ordered iterator,
+        so callers can stream progress while later tasks still run."""
+        raise NotImplementedError
+
+    def map_seeded(self, fn, items, random_state) -> list:
+        """``fn(item, child_seed)`` per item, with deterministic seeds.
+
+        Child seeds come from :func:`repro.utils.rng.spawn_seeds`, so
+        shard ``i`` sees the same integer seed on every backend and
+        every worker count — the building block for reproducible
+        parallel experiments.
+        """
+        items = list(items)
+        return self.map(fn, items, spawn_seeds(random_state, len(items)))
+
+    def close(self) -> None:
+        """Release pooled workers (idempotent; serial is a no-op)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """Inline execution — the reference backend.
+
+    Accepts (and ignores) a ``workers`` argument so call sites can
+    treat every backend uniformly.
+    """
+
+    backend = "serial"
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        super().__init__(workers=1)
+
+    def imap(self, fn, *iterables):
+        return (fn(*args) for args in zip(*iterables))
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool execution for GIL-releasing (numpy-bound) tasks."""
+
+    backend = "thread"
+
+    def __init__(self, workers: int = 2):
+        super().__init__(workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            )
+        return self._pool
+
+    def imap(self, fn, *iterables):
+        return self._ensure_pool().map(fn, *iterables)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor(Executor):
+    """Process-pool execution for interpreter-bound tasks.
+
+    Tasks, their arguments, and their results are pickled, so the
+    mapped function must be a module-level callable (or a bound method
+    of a picklable object) — closures and lambdas will raise.  Workers
+    are forked where the platform allows it (inheriting ``sys.path``
+    and module state), falling back to spawn elsewhere.
+    """
+
+    backend = "process"
+
+    def __init__(self, workers: int = 2):
+        super().__init__(workers)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # fork on Linux: workers inherit sys.path and loaded modules
+            # for free.  Elsewhere (macOS forks crash under threaded
+            # BLAS; Windows has no fork) use the platform default —
+            # spawned workers re-import repro, inheriting PYTHONPATH.
+            use_fork = (
+                sys.platform.startswith("linux")
+                and "fork" in multiprocessing.get_all_start_methods()
+            )
+            context = multiprocessing.get_context("fork" if use_fork else None)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._pool
+
+    def imap(self, fn, *iterables):
+        # chunksize=1: tasks here are few and heavy (matrix shards,
+        # explanation chunks), so latency balance beats batching
+        return self._ensure_pool().map(fn, *iterables, chunksize=1)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def get_executor(backend: str = "auto", workers: int | None = None) -> Executor:
+    """Build an executor by backend name.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"``.
+        ``"auto"`` resolves to serial when ``workers`` is ``None``/1
+        (no parallelism requested) and to processes otherwise —
+        processes are the safe default because they speed up both
+        interpreter-bound and numpy-bound work.
+    workers:
+        Worker budget.  ``None`` means 1 for ``auto``/``serial`` and
+        :func:`available_workers` for the pooled backends.
+    """
+    if backend == "auto":
+        backend = "serial" if workers is None or workers <= 1 else "process"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from "
+            f"{', '.join(BACKENDS)} or 'auto'"
+        )
+    if backend == "serial":
+        return SerialExecutor()
+    if workers is None:
+        workers = available_workers()
+    if backend == "thread":
+        return ThreadExecutor(workers)
+    return ProcessExecutor(workers)

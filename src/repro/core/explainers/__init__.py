@@ -29,6 +29,7 @@ from repro.core.explainers.base import (
     Explainer,
     Explanation,
     GlobalExplanation,
+    ModelOutputFn,
     model_output_fn,
 )
 from repro.core.explainers.counterfactual import Counterfactual, CounterfactualExplainer
@@ -61,6 +62,7 @@ __all__ = [
     "LimeExplainer",
     "LinearShapExplainer",
     "make_explainer",
+    "ModelOutputFn",
     "model_output_fn",
     "PartialDependence",
     "PDPResult",

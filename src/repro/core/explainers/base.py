@@ -11,6 +11,7 @@ __all__ = [
     "Explanation",
     "GlobalExplanation",
     "Explainer",
+    "ModelOutputFn",
     "model_output_fn",
 ]
 
@@ -189,6 +190,48 @@ class BatchExplanation:
             )
 
     @classmethod
+    def concat(cls, batches) -> "BatchExplanation":
+        """Stitch row-chunk batches back into one batch, in order.
+
+        The inverse of slicing a fleet into dispatch chunks: values,
+        base values, predictions, and instances are concatenated along
+        the sample axis.  Batch-level ``extras`` are taken from the
+        first chunk (chunks of one logical batch share their setup
+        diagnostics); per-sample extras are concatenated when every
+        chunk carries them.
+        """
+        batches = list(batches)
+        if not batches:
+            raise ValueError(
+                "cannot concatenate zero batches without feature names; "
+                "construct a BatchExplanation directly"
+            )
+        first = batches[0]
+        for b in batches[1:]:
+            if b.feature_names != first.feature_names:
+                raise ValueError("cannot concatenate batches with "
+                                 "different feature names")
+            if b.method != first.method:
+                raise ValueError(
+                    f"cannot concatenate {first.method!r} with {b.method!r}"
+                )
+        if len(batches) == 1:
+            return first
+        sample_extras = None
+        if all(b.sample_extras is not None for b in batches):
+            sample_extras = [e for b in batches for e in b.sample_extras]
+        return cls(
+            feature_names=first.feature_names,
+            values=np.vstack([b.values for b in batches]),
+            base_values=np.concatenate([b.base_values for b in batches]),
+            predictions=np.concatenate([b.predictions for b in batches]),
+            X=np.vstack([b.X for b in batches]),
+            method=first.method,
+            extras=dict(first.extras),
+            sample_extras=sample_extras,
+        )
+
+    @classmethod
     def from_explanations(cls, explanations, *, method=None) -> "BatchExplanation":
         """Stack per-sample :class:`Explanation` objects into one batch."""
         explanations = list(explanations)
@@ -286,6 +329,14 @@ class Explainer:
 
     method_name: str = "explainer"
 
+    #: Rows per chunk when a batch is dispatched to an executor.  Sized
+    #: so one chunk times a typical background stays inside the
+    #: explainers' stacked-model-call row budgets (``_ROW_BUDGET``),
+    #: and deliberately *independent* of the backend and worker count:
+    #: identical chunk boundaries are what make serial, thread, and
+    #: process results of :meth:`explain_batch_chunked` bit-identical.
+    batch_dispatch_rows: int = 16
+
     def explain(self, x) -> Explanation:
         raise NotImplementedError
 
@@ -331,14 +382,100 @@ class Explainer:
             [self.explain(row) for row in X], method=self.method_name
         )
 
+    def explain_batch_chunked(
+        self, X, executor=None, *, chunk_rows: int | None = None
+    ) -> BatchExplanation:
+        """Explain ``X`` in row chunks dispatched to an ``executor``.
+
+        Splits the rows into ``chunk_rows``-sized chunks (default
+        :attr:`batch_dispatch_rows`), runs :meth:`explain_batch` on
+        each through ``executor.map`` — any backend from
+        :mod:`repro.core.executor` — and stitches the chunk results
+        back together with :meth:`BatchExplanation.concat`.
+
+        Chunk boundaries depend only on ``len(X)`` and ``chunk_rows``,
+        never on the backend or worker count, and each chunk is a pure
+        function of (explainer configuration, chunk rows): with an
+        integer ``random_state`` the stochastic explainers re-derive
+        the same shared design for every chunk, so serial, thread, and
+        process backends return bit-identical batches.  With a live
+        ``Generator`` seed, chunked results are *not* reproducible —
+        pass integer seeds when you care (the pipeline and matrix
+        runner always do).
+
+        ``executor=None`` (or a single chunk) falls back to one plain
+        :meth:`explain_batch` call.
+        """
+        X = self._check_batch(X)
+        if chunk_rows is None:
+            chunk_rows = self.batch_dispatch_rows
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        n = X.shape[0]
+        if executor is None or n <= chunk_rows:
+            return self.explain_batch(X)
+        chunks = [X[start:start + chunk_rows] for start in range(0, n, chunk_rows)]
+        return BatchExplanation.concat(executor.map(self.explain_batch, chunks))
+
     def global_importance(self, X) -> GlobalExplanation:
         """Mean |local attribution| over the rows of ``X`` — the standard
         SHAP-style global importance summary."""
         return self.explain_batch(X).global_importance()
 
 
+class ModelOutputFn:
+    """Picklable ``f(X) -> 1-D scores`` wrapper around a fitted model.
+
+    Explainers hold onto these for their whole life, and the process
+    execution backend ships them (inside explainers and pipelines) to
+    worker processes — which is why this is a class rather than a
+    closure: closures cannot be pickled, instances can, as long as the
+    wrapped model can.
+
+    Instances also expose :meth:`cache_token`, a content-style identity
+    used by :mod:`repro.core.cache` as a fallback key when function
+    *object* identity is unavailable (a fresh unpickled copy in a
+    worker process is a new object wrapping the same model).
+    """
+
+    def __init__(self, model, output: str, class_index: int):
+        self.model = model
+        self.output = output
+        self.class_index = int(class_index)
+
+    def cache_token(self) -> str:
+        """Stable identity across pickling: output mode, class index,
+        and the model's constructor repr.  The repr covers parameters
+        only (not fitted state), so two differently-fit models with the
+        same parameters share a token — safe because every cache hit is
+        spot-checked against live predictions (see
+        :meth:`repro.core.cache.ExplainerCache.background_predictions`).
+        """
+        return f"{self.output}[{self.class_index}]:{self.model!r}"
+
+    def __call__(self, X) -> np.ndarray:
+        X = np.atleast_2d(X)
+        if self.output == "proba":
+            return self.model.predict_proba(X)[:, self.class_index]
+        if self.output == "margin":
+            margin = self.model.decision_function(X)
+            if margin.ndim == 2:
+                return margin[:, self.class_index]
+            return margin
+        return np.asarray(self.model.predict(X), dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"ModelOutputFn({type(self.model).__name__}, "
+            f"output={self.output!r}, class_index={self.class_index})"
+        )
+
+
 def model_output_fn(model, *, output: str = "auto", class_index: int = 1):
     """Wrap a fitted model into ``f(X) -> 1-D scores`` for explainers.
+
+    The returned callable is a picklable :class:`ModelOutputFn`, so it
+    survives the trip to process-backend workers.
 
     Parameters
     ----------
@@ -355,27 +492,8 @@ def model_output_fn(model, *, output: str = "auto", class_index: int = 1):
         raise ValueError(f"unknown output {output!r}")
     if output == "auto":
         output = "proba" if hasattr(model, "predict_proba") else "predict"
-    if output == "proba":
-        if not hasattr(model, "predict_proba"):
-            raise ValueError(f"{type(model).__name__} has no predict_proba")
-
-        def fn(X):
-            proba = model.predict_proba(np.atleast_2d(X))
-            return proba[:, class_index]
-
-    elif output == "margin":
-        if not hasattr(model, "decision_function"):
-            raise ValueError(f"{type(model).__name__} has no decision_function")
-
-        def fn(X):
-            margin = model.decision_function(np.atleast_2d(X))
-            if margin.ndim == 2:
-                return margin[:, class_index]
-            return margin
-
-    else:
-
-        def fn(X):
-            return np.asarray(model.predict(np.atleast_2d(X)), dtype=float)
-
-    return fn
+    if output == "proba" and not hasattr(model, "predict_proba"):
+        raise ValueError(f"{type(model).__name__} has no predict_proba")
+    if output == "margin" and not hasattr(model, "decision_function"):
+        raise ValueError(f"{type(model).__name__} has no decision_function")
+    return ModelOutputFn(model, output, class_index)

@@ -20,12 +20,23 @@ path, and scores each cell with the evaluation suite:
 The result is a :class:`MatrixReport` whose :meth:`~MatrixReport.format_table`
 is directly comparable across cells — the CLI (``repro scenarios run``)
 and ``benchmarks/bench_e3_scenarios.py`` both print it.
+
+The sweep is *sharded*: each scenario × model pair (one dataset, one
+fit, all explainers sharing that fit) is an independent task dispatched
+to an execution backend from :mod:`repro.core.executor` — serial,
+threads, or processes (``repro scenarios run --workers 4 --backend
+process``; speedup measured in ``benchmarks/bench_e4_parallel.py``).
+Shards are pure functions of their task and the integer seed, so every
+backend produces identical cells; ``format_table(timing=False)`` is
+byte-identical across backends and worker counts.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import asdict, dataclass, field
+from functools import lru_cache, partial
 
 import numpy as np
 
@@ -35,6 +46,7 @@ from repro.core.evaluation import (
     faithfulness_report,
     input_stability,
 )
+from repro.core.executor import get_executor
 from repro.core.pipeline import NFVExplainabilityPipeline
 from repro.datasets import make_scenario_dataset
 
@@ -57,7 +69,9 @@ def default_model_factories() -> dict:
     """Named factories for the reference models (shared with the CLI).
 
     Every factory returns a *fresh, unfitted* estimator, so one matrix
-    run cannot leak fitted state into the next.
+    run cannot leak fitted state into the next.  The factories are
+    :func:`functools.partial` objects (not lambdas) so shard tasks
+    carrying them can be pickled to process-backend workers.
     """
     from repro.ml import (
         GradientBoostingClassifier,
@@ -67,15 +81,17 @@ def default_model_factories() -> dict:
     )
 
     return {
-        "random_forest": lambda: RandomForestClassifier(
-            n_estimators=60, max_depth=10, random_state=0
+        "random_forest": partial(
+            RandomForestClassifier, n_estimators=60, max_depth=10, random_state=0
         ),
-        "gradient_boosting": lambda: GradientBoostingClassifier(
-            n_estimators=80, max_depth=3, learning_rate=0.2, random_state=0
+        "gradient_boosting": partial(
+            GradientBoostingClassifier,
+            n_estimators=80, max_depth=3, learning_rate=0.2, random_state=0,
         ),
-        "logistic_regression": lambda: LogisticRegression(max_iter=400),
-        "mlp": lambda: MLPClassifier(
-            hidden_layer_sizes=(64, 32), max_epochs=60, random_state=0
+        "logistic_regression": partial(LogisticRegression, max_iter=400),
+        "mlp": partial(
+            MLPClassifier,
+            hidden_layer_sizes=(64, 32), max_epochs=60, random_state=0,
         ),
     }
 
@@ -139,13 +155,22 @@ class MatrixReport:
                 return c
         raise KeyError(f"no cell ({scenario!r}, {model!r}, {explainer!r})")
 
-    def format_table(self) -> str:
-        """Aligned, comparable text table of every cell."""
+    def format_table(self, *, timing: bool = True) -> str:
+        """Aligned, comparable text table of every cell.
+
+        ``timing=False`` drops the wall-clock ``sec`` column — the one
+        field that varies between otherwise identical runs — leaving
+        output that is byte-identical across repeats, execution
+        backends, and worker counts under a fixed seed (what the
+        determinism tests and the golden regression compare).
+        """
         header = (
             f"{'scenario':<22} {'model':<20} {'explainer':<17} "
             f"{'acc':>5} {'viol':>6} {'del.AUC':>8} {'ins.AUC':>8} "
-            f"{'rnd.del':>8} {'comp':>7} {'agree':>6} {'stab':>6} {'sec':>6}"
+            f"{'rnd.del':>8} {'comp':>7} {'agree':>6} {'stab':>6}"
         )
+        if timing:
+            header += f" {'sec':>6}"
         lines = [header, "-" * len(header)]
         previous = None
         for c in self.cells:
@@ -153,13 +178,16 @@ class MatrixReport:
             previous = c.scenario
             agree = f"{c.agreement_spearman:.2f}" if c.agreement_spearman is not None else "-"
             stab = f"{c.stability_cosine:.2f}" if c.stability_cosine is not None else "-"
-            lines.append(
+            line = (
                 f"{scenario:<22} {c.model:<20} {c.explainer:<17} "
                 f"{c.test_accuracy:>5.2f} {c.violation_rate:>6.1%} "
                 f"{c.deletion_auc:>8.3f} {c.insertion_auc:>8.3f} "
                 f"{c.random_deletion_auc:>8.3f} {c.comprehensiveness:>7.3f} "
-                f"{agree:>6} {stab:>6} {c.explain_seconds:>6.2f}"
+                f"{agree:>6} {stab:>6}"
             )
+            if timing:
+                line += f" {c.explain_seconds:>6.2f}"
+            lines.append(line)
         lines.append(
             "del.AUC: higher = attributed features collapse the prediction "
             "sooner (more faithful, as in E5); rnd.del is the shuffled-"
@@ -198,6 +226,146 @@ def _select_rows(dataset, n_explain: int) -> np.ndarray:
     return np.arange(len(y))[-n_explain:]
 
 
+@dataclass
+class _ShardTask:
+    """One scenario × model unit of matrix work.
+
+    A shard owns everything its cells share — one dataset generation,
+    one model fit, and every explainer riding that fit — and carries
+    only picklable configuration, so the same object drives the serial,
+    thread, and process backends.  ``random_state`` is the matrix-wide
+    integer seed: datasets are byte-identical per scenario under a
+    fixed seed, so shards of the same scenario regenerate *the same*
+    dataset in whichever worker they land on, and the shard result is a
+    pure function of this task alone.
+    """
+
+    scenario: str
+    model_name: str
+    factory: object
+    explainers: tuple
+    explainer_kwargs: dict
+    n_epochs: int
+    n_explain: int
+    horizon: int
+    top_k: int
+    stability_repeats: int
+    random_state: int
+
+
+@lru_cache(maxsize=8)
+def _scenario_dataset(scenario: str, n_epochs: int, horizon: int, seed: int):
+    """Per-process memo of seeded scenario datasets.
+
+    Shards of the same scenario share one dataset generation within a
+    process (serial and thread backends regain the one-generation-per-
+    scenario cost of the unsharded runner; each process-backend worker
+    pays at most one generation per scenario).  Safe because scenario
+    datasets are byte-identical under a fixed integer seed and shards
+    only read them.
+    """
+    return make_scenario_dataset(
+        scenario, n_epochs, horizon=horizon, random_state=seed
+    )
+
+
+def _run_matrix_shard(task: _ShardTask) -> list[MatrixCell]:
+    """Compute every explainer cell of one scenario × model shard.
+
+    Module-level (not a closure) so the process backend can pickle it;
+    deterministic given the task, so every backend returns identical
+    cells in identical order.
+    """
+    from repro.core.explainers import Explainer
+
+    if isinstance(task.random_state, (int, np.integer)):
+        dataset = _scenario_dataset(
+            task.scenario, task.n_epochs, task.horizon, int(task.random_state)
+        )
+    else:  # non-integer seeds are not reproducible -> never memoize
+        dataset = make_scenario_dataset(
+            task.scenario, task.n_epochs,
+            horizon=task.horizon, random_state=task.random_state,
+        )
+    rows = _select_rows(dataset, task.n_explain)
+    X_sel = dataset.X.values[rows]
+    violation_rate = dataset.result.violation_rate
+
+    fitted = None
+    cells: list[MatrixCell] = []
+    attributions: dict[str, np.ndarray] = {}
+    for method in task.explainers:
+        kw = task.explainer_kwargs.get(method, {})
+        if fitted is None:
+            pipeline = NFVExplainabilityPipeline(
+                task.factory(),
+                explainer_method=method,
+                explainer_kwargs=kw,
+                random_state=task.random_state,
+            ).fit(dataset)
+            fitted = pipeline
+        else:
+            pipeline = fitted.with_explainer(method, **kw)
+
+        start = time.perf_counter()
+        diagnoses = pipeline.diagnose_batch(X_sel)
+        elapsed = time.perf_counter() - start
+        A = np.vstack([d.explanation.values for d in diagnoses])
+        attributions[method] = A
+
+        baseline = _neutral_baseline(pipeline)
+        faith = faithfulness_report(
+            pipeline.score_fn, X_sel, A, baseline,
+            n_steps=10, random_state=task.random_state,
+        )
+        comp = float(np.mean([
+            comprehensiveness(
+                pipeline.score_fn, x, a, baseline,
+                k=min(task.top_k, X_sel.shape[1]),
+            )
+            for x, a in zip(X_sel, A)
+        ]))
+        stability = None
+        if task.stability_repeats >= 2:
+            explainer = pipeline.explainer_
+            stability = input_stability(
+                lambda z: explainer.explain(z).values,
+                X_sel[0],
+                n_repeats=task.stability_repeats,
+                feature_scales=pipeline.X_train_.std(axis=0),
+                random_state=task.random_state,
+            )["mean_cosine"]
+
+        cells.append(MatrixCell(
+            scenario=task.scenario,
+            model=task.model_name,
+            explainer=method,
+            train_accuracy=float(pipeline.train_score_),
+            test_accuracy=float(pipeline.test_score_),
+            violation_rate=float(violation_rate),
+            n_explained=len(rows),
+            deletion_auc=faith["deletion_auc"],
+            insertion_auc=faith["insertion_auc"],
+            random_deletion_auc=faith["random_deletion_auc"],
+            comprehensiveness=comp,
+            agreement_spearman=None,
+            stability_cosine=stability,
+            explain_seconds=elapsed,
+            vectorized=(
+                type(pipeline.explainer_).explain_batch
+                is not Explainer.explain_batch
+            ),
+        ))
+
+    if len(attributions) >= 2:
+        names, M = agreement_matrix(attributions, measure="spearman")
+        off_diag = ~np.eye(len(names), dtype=bool)
+        for cell in cells:
+            i = names.index(cell.explainer)
+            cell.agreement_spearman = float(np.mean(M[i][off_diag[i]]))
+    return cells
+
+
 def run_scenario_matrix(
     scenarios,
     models=None,
@@ -210,6 +378,8 @@ def run_scenario_matrix(
     stability_repeats: int = 0,
     explainer_kwargs: dict | None = None,
     random_state: int = 0,
+    backend: str = "auto",
+    workers: int | None = None,
     progress=None,
 ) -> MatrixReport:
     """Run the full scenario × model × explainer sweep.
@@ -242,8 +412,17 @@ def run_scenario_matrix(
     random_state:
         Integer seed covering dataset generation, splits, and the
         stochastic explainers — the whole matrix is reproducible.
+    backend, workers:
+        Execution backend for the scenario × model shards (see
+        :func:`repro.core.executor.get_executor`): ``"serial"`` (the
+        default under ``"auto"`` with no workers), ``"thread"``, or
+        ``"process"``.  Every shard is a pure function of its task and
+        the integer seed, so the report's cells — and
+        ``format_table(timing=False)`` byte-for-byte — are identical
+        on every backend and worker count; only wall-clock changes.
     progress:
-        Optional ``callable(str)`` receiving one line per finished cell.
+        Optional ``callable(str)`` receiving one line per finished cell
+        (emitted shard by shard, in deterministic task order).
     """
     scenarios = list(scenarios)
     if not scenarios:
@@ -276,96 +455,46 @@ def run_scenario_matrix(
         if progress is not None:
             progress(line)
 
-    cells: list[MatrixCell] = []
-    for scenario in scenarios:
-        dataset = make_scenario_dataset(
-            scenario, n_epochs, horizon=horizon, random_state=random_state
+    resolved_kwargs = {method: kwargs_for(method) for method in explainers}
+    tasks = [
+        _ShardTask(
+            scenario=scenario,
+            model_name=model_name,
+            factory=factory,
+            explainers=tuple(explainers),
+            explainer_kwargs=resolved_kwargs,
+            n_epochs=n_epochs,
+            n_explain=n_explain,
+            horizon=horizon,
+            top_k=top_k,
+            stability_repeats=stability_repeats,
+            random_state=random_state,
         )
-        rows = _select_rows(dataset, n_explain)
-        X_sel = dataset.X.values[rows]
-        violation_rate = dataset.result.violation_rate
-        for model_name, factory in models.items():
-            fitted = None
-            scenario_model_cells: list[MatrixCell] = []
-            attributions: dict[str, np.ndarray] = {}
-            for method in explainers:
-                kw = kwargs_for(method)
-                if fitted is None:
-                    pipeline = NFVExplainabilityPipeline(
-                        factory(),
-                        explainer_method=method,
-                        explainer_kwargs=kw,
-                        random_state=random_state,
-                    ).fit(dataset)
-                    fitted = pipeline
-                else:
-                    pipeline = fitted.with_explainer(method, **kw)
+        for scenario in scenarios
+        for model_name, factory in models.items()
+    ]
 
-                start = time.perf_counter()
-                diagnoses = pipeline.diagnose_batch(X_sel)
-                elapsed = time.perf_counter() - start
-                A = np.vstack([d.explanation.values for d in diagnoses])
-                attributions[method] = A
-
-                baseline = _neutral_baseline(pipeline)
-                faith = faithfulness_report(
-                    pipeline.score_fn, X_sel, A, baseline,
-                    n_steps=10, random_state=random_state,
-                )
-                comp = float(np.mean([
-                    comprehensiveness(
-                        pipeline.score_fn, x, a, baseline,
-                        k=min(top_k, X_sel.shape[1]),
-                    )
-                    for x, a in zip(X_sel, A)
-                ]))
-                stability = None
-                if stability_repeats >= 2:
-                    explainer = pipeline.explainer_
-                    stability = input_stability(
-                        lambda z: explainer.explain(z).values,
-                        X_sel[0],
-                        n_repeats=stability_repeats,
-                        feature_scales=pipeline.X_train_.std(axis=0),
-                        random_state=random_state,
-                    )["mean_cosine"]
-
-                from repro.core.explainers import Explainer
-
-                cell = MatrixCell(
-                    scenario=scenario,
-                    model=model_name,
-                    explainer=method,
-                    train_accuracy=float(pipeline.train_score_),
-                    test_accuracy=float(pipeline.test_score_),
-                    violation_rate=float(violation_rate),
-                    n_explained=len(rows),
-                    deletion_auc=faith["deletion_auc"],
-                    insertion_auc=faith["insertion_auc"],
-                    random_deletion_auc=faith["random_deletion_auc"],
-                    comprehensiveness=comp,
-                    agreement_spearman=None,
-                    stability_cosine=stability,
-                    explain_seconds=elapsed,
-                    vectorized=(
-                        type(pipeline.explainer_).explain_batch
-                        is not Explainer.explain_batch
-                    ),
-                )
-                scenario_model_cells.append(cell)
+    cells: list[MatrixCell] = []
+    with get_executor(backend, workers) as executor:
+        if executor.backend == "process":
+            try:
+                pickle.dumps(tuple(models.values()))
+            except Exception as exc:
+                raise ValueError(
+                    "model factories must be picklable for the process "
+                    "backend (use functools.partial or module-level "
+                    "functions, or backend='thread')"
+                ) from exc
+        for shard_cells in executor.imap(_run_matrix_shard, tasks):
+            for cell in shard_cells:
                 emit(
-                    f"{scenario} × {model_name} × {method}: "
+                    f"{cell.scenario} × {cell.model} × {cell.explainer}: "
                     f"acc={cell.test_accuracy:.2f} "
-                    f"del.AUC={cell.deletion_auc:.3f} ({elapsed:.2f}s)"
+                    f"del.AUC={cell.deletion_auc:.3f} "
+                    f"({cell.explain_seconds:.2f}s)"
                 )
-
-            if len(attributions) >= 2:
-                names, M = agreement_matrix(attributions, measure="spearman")
-                off_diag = ~np.eye(len(names), dtype=bool)
-                for cell in scenario_model_cells:
-                    i = names.index(cell.explainer)
-                    cell.agreement_spearman = float(np.mean(M[i][off_diag[i]]))
-            cells.extend(scenario_model_cells)
+            cells.extend(shard_cells)
+        extras = {"backend": executor.backend, "workers": executor.workers}
 
     return MatrixReport(
         cells=cells,
@@ -375,4 +504,5 @@ def run_scenario_matrix(
         n_epochs=n_epochs,
         n_explain=n_explain,
         seed=random_state,
+        extras=extras,
     )

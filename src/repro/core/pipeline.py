@@ -230,7 +230,7 @@ class NFVExplainabilityPipeline:
         return self._resolve(explanation, score, aggregation)
 
     def diagnose_batch(
-        self, X, *, aggregation: str = "abs"
+        self, X, *, aggregation: str = "abs", executor=None
     ) -> list[NFVDiagnosis]:
         """Diagnose every row of ``X`` in one vectorized pass.
 
@@ -239,6 +239,14 @@ class NFVExplainabilityPipeline:
         rows, and the model is scored once for the whole batch — the
         fleet-diagnosis fast path (≥3× over a per-sample loop for
         KernelSHAP at 64 samples; see ``benchmarks/bench_e2_overhead.py``).
+
+        ``executor`` (any backend from :mod:`repro.core.executor`)
+        additionally splits the rows into fixed-size chunks and runs
+        the chunks in parallel via
+        :meth:`~repro.core.explainers.Explainer.explain_batch_chunked`;
+        with this pipeline's integer ``random_state`` the result is
+        bit-identical across serial, thread, and process backends (see
+        ``docs/parallel.md``).
         """
         self._check_fitted()
         X = np.asarray(X, dtype=float)
@@ -246,7 +254,10 @@ class NFVExplainabilityPipeline:
             raise ValueError(f"X must be 2-D, got shape {X.shape}")
         if X.shape[0] == 0:
             return []
-        batch = self.explainer_.explain_batch(X)
+        if executor is None:
+            batch = self.explainer_.explain_batch(X)
+        else:
+            batch = self.explainer_.explain_batch_chunked(X, executor)
         scores = np.asarray(self._score_fn(X), dtype=float)
         return [
             self._resolve(explanation, float(score), aggregation)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["check_random_state", "spawn_rngs"]
+__all__ = ["check_random_state", "spawn_rngs", "spawn_seeds"]
 
 
 def check_random_state(random_state=None) -> np.random.Generator:
@@ -45,6 +45,47 @@ def check_random_state(random_state=None) -> np.random.Generator:
         "random_state must be None, an int, a numpy Generator or a "
         f"SeedSequence, got {type(random_state).__name__}"
     )
+
+
+def spawn_seeds(random_state, n: int) -> list[int]:
+    """Derive ``n`` independent integer child seeds from one seed.
+
+    The picklable sibling of :func:`spawn_rngs`: plain non-negative
+    ``int`` seeds travel across process boundaries and can be handed to
+    any ``random_state`` argument in this library, so a parallel
+    executor can give every shard its own deterministic stream without
+    ever sharing mutable generator state between workers.  Child seeds
+    depend only on ``random_state`` and the shard index — never on the
+    backend, worker count, or completion order — which is what makes
+    serial, threaded, and multiprocess runs reproduce each other.
+
+    ``random_state`` may be an ``int`` (fully deterministic children),
+    a :class:`~numpy.random.SeedSequence`, a live Generator (consumes
+    one draw), or ``None`` (fresh entropy).
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(random_state, np.random.SeedSequence):
+        base = random_state
+    elif isinstance(random_state, (int, np.integer)):
+        if random_state < 0:
+            raise ValueError(f"seed must be non-negative, got {random_state}")
+        base = np.random.SeedSequence(int(random_state))
+    elif isinstance(random_state, np.random.Generator):
+        base = np.random.SeedSequence(
+            int(random_state.integers(0, 2**63 - 1))
+        )
+    elif random_state is None:
+        base = np.random.SeedSequence()
+    else:
+        raise TypeError(
+            "random_state must be None, an int, a numpy Generator or a "
+            f"SeedSequence, got {type(random_state).__name__}"
+        )
+    return [
+        int(child.generate_state(1, dtype=np.uint64)[0] >> np.uint64(1))
+        for child in base.spawn(n)
+    ]
 
 
 def spawn_rngs(random_state, n: int) -> list[np.random.Generator]:

@@ -145,6 +145,92 @@ class TestBatchExplanationContainer:
             BatchExplanation.from_explanations([])
 
 
+class TestBatchConcat:
+    def _slices(self, batch, *bounds):
+        def piece(lo, hi):
+            return BatchExplanation(
+                feature_names=batch.feature_names,
+                values=batch.values[lo:hi],
+                base_values=batch.base_values[lo:hi],
+                predictions=batch.predictions[lo:hi],
+                X=batch.X[lo:hi],
+                method=batch.method,
+                extras=dict(batch.extras),
+                sample_extras=batch.sample_extras[lo:hi],
+            )
+        edges = [0, *bounds, len(batch)]
+        return [piece(lo, hi) for lo, hi in zip(edges, edges[1:])]
+
+    def test_roundtrip_of_chunks(self, batch=None):
+        batch = BatchExplanation(
+            feature_names=["a", "b", "c"],
+            values=np.arange(12, dtype=float).reshape(4, 3),
+            base_values=np.zeros(4),
+            predictions=np.arange(4, dtype=float),
+            X=np.ones((4, 3)),
+            method="test",
+            extras={"shared": 1},
+            sample_extras=[{"i": i} for i in range(4)],
+        )
+        rebuilt = BatchExplanation.concat(self._slices(batch, 1, 3))
+        np.testing.assert_array_equal(rebuilt.values, batch.values)
+        np.testing.assert_array_equal(rebuilt.predictions, batch.predictions)
+        np.testing.assert_array_equal(rebuilt.X, batch.X)
+        assert rebuilt.extras == batch.extras
+        assert rebuilt.sample_extras == batch.sample_extras
+        assert rebuilt.method == "test"
+
+    def test_single_chunk_passthrough(self):
+        only = BatchExplanation(
+            feature_names=["a"],
+            values=np.ones((2, 1)),
+            base_values=np.zeros(2),
+            predictions=np.ones(2),
+            X=np.ones((2, 1)),
+            method="test",
+        )
+        assert BatchExplanation.concat([only]) is only
+
+    def test_mismatched_chunks_rejected(self):
+        def make(names, method):
+            return BatchExplanation(
+                feature_names=names,
+                values=np.ones((1, len(names))),
+                base_values=np.zeros(1),
+                predictions=np.ones(1),
+                X=np.ones((1, len(names))),
+                method=method,
+            )
+        with pytest.raises(ValueError, match="feature names"):
+            BatchExplanation.concat([make(["a"], "m"), make(["b"], "m")])
+        with pytest.raises(ValueError, match="cannot concatenate"):
+            BatchExplanation.concat([make(["a"], "m"), make(["a"], "other")])
+        with pytest.raises(ValueError, match="zero batches"):
+            BatchExplanation.concat([])
+
+    def test_missing_sample_extras_drops_them(self):
+        with_extras = BatchExplanation(
+            feature_names=["a"],
+            values=np.ones((1, 1)),
+            base_values=np.zeros(1),
+            predictions=np.ones(1),
+            X=np.ones((1, 1)),
+            method="m",
+            sample_extras=[{"k": 1}],
+        )
+        without = BatchExplanation(
+            feature_names=["a"],
+            values=np.ones((1, 1)),
+            base_values=np.zeros(1),
+            predictions=np.ones(1),
+            X=np.ones((1, 1)),
+            method="m",
+        )
+        merged = BatchExplanation.concat([with_extras, without])
+        assert merged.n_samples == 2
+        assert merged.sample_extras is None
+
+
 class TestBatchEquivalence:
     """explain_batch must match a per-sample explain loop."""
 

@@ -116,6 +116,86 @@ class TestBackgroundPredictions:
         assert fn.calls == 4
 
 
+class ScaledModel:
+    """A picklable model with a parameters-only repr (like repro.ml)."""
+
+    def __init__(self, scale=1.0):
+        self.scale = scale
+        self.calls = 0
+        self.rows = 0
+
+    def predict(self, X):
+        X = np.atleast_2d(X)
+        self.calls += 1
+        self.rows += len(X)
+        return X.sum(axis=1) * self.scale
+
+    def __repr__(self):
+        return "ScaledModel()"
+
+
+class TestTokenFallback:
+    """ISSUE satellite: weakref identity keys silently miss across
+    processes; ``cache_token()``-bearing predict functions fall back to
+    (token, background fingerprint) so a worker does not cold-start."""
+
+    def test_unpickled_fn_hits_token_tier(self):
+        import pickle
+
+        from repro.core.explainers import model_output_fn
+
+        cache = ExplainerCache()
+        fn = model_output_fn(ScaledModel())
+        bg = np.arange(12.0).reshape(4, 3)
+        first = cache.background_predictions(fn, bg)
+        # a new object wrapping an equal model — exactly what a process
+        # worker gets after unpickling an explainer
+        fn2 = pickle.loads(pickle.dumps(fn))
+        assert fn2 is not fn
+        fn2.model.rows = 0  # unpickling copied the counter's state
+        second = cache.background_predictions(fn2, bg)
+        np.testing.assert_array_equal(second, first)
+        # the unpickled copy paid only the 3-row probe, not a full sweep
+        assert fn2.model.rows == 3
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["background_token_entries"] == 1
+
+    def test_token_collision_caught_by_probe(self):
+        from repro.core.explainers import model_output_fn
+
+        cache = ExplainerCache()
+        bg = np.arange(12.0).reshape(4, 3)
+        cache.background_predictions(fn := model_output_fn(ScaledModel()), bg)
+        # same constructor repr (same token), different fitted behavior
+        impostor = model_output_fn(ScaledModel(scale=5.0))
+        assert impostor.cache_token() == fn.cache_token()
+        served = cache.background_predictions(impostor, bg)
+        np.testing.assert_array_equal(served, bg.sum(axis=1) * 5.0)
+        assert cache.stats()["hits"] == 0  # probe rejected the entry
+
+    def test_plain_callables_do_not_use_token_tier(self):
+        cache = ExplainerCache()
+        cache.background_predictions(CountingModel(), np.ones((4, 2)))
+        assert cache.stats()["background_token_entries"] == 0
+
+    def test_thread_safety_under_concurrent_requests(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = ExplainerCache()
+        fn = CountingModel()
+        bg = np.linspace(0.0, 1.0, 30).reshape(10, 3)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(
+                lambda _: cache.background_predictions(fn, bg), range(32)
+            ))
+        expected = bg.sum(axis=1)
+        for result in results:
+            np.testing.assert_array_equal(result, expected)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 32
+        assert stats["background_entries"] == 1
+
+
 class TestCoalitionDesignCache:
     def test_build_called_once_per_key(self):
         cache = ExplainerCache()
@@ -166,6 +246,7 @@ class TestCoalitionDesignCache:
             "hits": 0,
             "misses": 0,
             "background_entries": 0,
+            "background_token_entries": 0,
             "design_entries": 0,
         }
 

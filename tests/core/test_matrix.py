@@ -1,5 +1,7 @@
 """Tests for the scenario matrix experiment runner (repro.core.matrix)."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,8 @@ from repro.core.matrix import (
     default_model_factories,
     run_scenario_matrix,
 )
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "matrix_golden.txt")
 
 SCENARIOS = ["baseline", "noisy-telemetry"]
 EXPLAINERS = ("kernel_shap", "lime")
@@ -126,6 +130,111 @@ class TestRunScenarioMatrix:
         for c in report.cells:
             assert c.stability_cosine is not None
             assert -1.0 <= c.stability_cosine <= 1.0
+
+
+class TestExecutionBackends:
+    """ISSUE satellite: the 2×2×2 matrix is bit-identical on every
+    execution backend (the ``report`` fixture is the serial run)."""
+
+    def _comparable(self, report):
+        rows = report.to_rows()
+        for row in rows:
+            row.pop("explain_seconds")  # wall-clock is never comparable
+        return rows
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backend_matches_serial_exactly(self, report, backend):
+        parallel = run_scenario_matrix(
+            SCENARIOS,
+            explainers=EXPLAINERS,
+            n_epochs=250,
+            n_explain=4,
+            explainer_kwargs=FAST_KWARGS,
+            random_state=0,
+            backend=backend,
+            workers=2,
+        )
+        assert self._comparable(parallel) == self._comparable(report)
+        assert parallel.format_table(timing=False) == report.format_table(
+            timing=False
+        )
+        assert parallel.extras == {"backend": backend, "workers": 2}
+
+    def test_serial_extras_recorded(self, report):
+        assert report.extras == {"backend": "serial", "workers": 1}
+
+    def test_progress_ordered_on_parallel_backend(self):
+        lines = []
+        run_scenario_matrix(
+            ["baseline"],
+            explainers=("kernel_shap",),
+            n_epochs=200,
+            n_explain=2,
+            explainer_kwargs=FAST_KWARGS,
+            random_state=0,
+            backend="thread",
+            workers=2,
+            progress=lines.append,
+        )
+        assert len(lines) == 2  # one per cell, deterministic task order
+        assert "random_forest" in lines[0]
+        assert "logistic_regression" in lines[1]
+
+    def test_process_backend_rejects_unpicklable_factories(self):
+        with pytest.raises(ValueError, match="picklable"):
+            run_scenario_matrix(
+                ["baseline"],
+                models={"inline": lambda: None},
+                explainers=("kernel_shap",),
+                n_epochs=100,
+                backend="process",
+                workers=2,
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_scenario_matrix(["baseline"], backend="gpu", n_epochs=50)
+
+    def test_default_factories_are_picklable(self):
+        import pickle
+
+        for name, factory in default_model_factories().items():
+            rebuilt = pickle.loads(pickle.dumps(factory))
+            assert type(rebuilt()).__name__ == type(factory()).__name__
+
+
+class TestFormatTableTiming:
+    def test_timing_column_toggles(self, report):
+        with_timing = report.format_table()
+        without = report.format_table(timing=False)
+        assert "sec" in with_timing.splitlines()[0]
+        assert "sec" not in without.splitlines()[0]
+        assert len(with_timing.splitlines()) == len(without.splitlines())
+
+
+class TestGoldenTable:
+    def test_format_table_matches_golden(self, report):
+        """Golden regression for the seeded reference matrix.
+
+        The golden file pins ``format_table(timing=False)`` for the
+        module's 2 scenario × 2 model × 2 explainer sweep (250 epochs,
+        seed 0, FAST_KWARGS budgets).  If it fails after an
+        *intentional* change to the metrics, the explainers, or the
+        table format, regenerate the file and eyeball the diff::
+
+            REGEN_MATRIX_GOLDEN=1 PYTHONPATH=src python -m pytest \\
+                tests/core/test_matrix.py::TestGoldenTable -q
+
+        Never regenerate to silence an unexplained diff — byte changes
+        here mean the seeded pipeline no longer reproduces itself.
+        """
+        table = report.format_table(timing=False) + "\n"
+        if os.environ.get("REGEN_MATRIX_GOLDEN"):
+            with open(GOLDEN_PATH, "w") as fh:
+                fh.write(table)
+            pytest.skip(f"regenerated {GOLDEN_PATH}")
+        with open(GOLDEN_PATH) as fh:
+            assert table == fh.read()
 
 
 class TestValidation:

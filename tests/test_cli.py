@@ -235,3 +235,54 @@ class TestScenarios:
         assert "del.AUC" in out
         for name in ("baseline", "noisy-telemetry", "fault-storm"):
             assert name in out
+
+
+class TestParallelFlags:
+    def test_parser_defaults_to_auto_serial(self):
+        args = build_parser().parse_args(["scenarios", "run"])
+        assert args.backend == "auto"
+        assert args.workers is None
+        args = build_parser().parse_args(["explain-batch"])
+        assert args.backend == "auto"
+        assert args.workers is None
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scenarios", "run", "--backend", "gpu"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain-batch", "--workers", "0"])
+
+    def test_scenarios_run_parallel_matches_serial(self, capsys):
+        """The CLI's parallel matrix output equals the serial run,
+        modulo the timing column and the trailer."""
+        argv = ["scenarios", "run", "--scenarios", "baseline",
+                "--models", "logistic_regression",
+                "--explainers", "kernel_shap,lime",
+                "--epochs", "200", "--explain", "2", "--seed", "0"]
+
+        def table_lines(text):
+            lines = text.splitlines()
+            start = next(i for i, l in enumerate(lines)
+                         if l.startswith("scenario"))
+            # header + rule + 2 cells, without the per-run sec column
+            return [l[:l.rfind(" ")].rstrip()
+                    for l in lines[start:start + 4]]
+
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2", "--backend", "process"]) == 0
+        parallel = capsys.readouterr().out
+        assert table_lines(parallel) == table_lines(serial)
+        assert "backend=process x2" in parallel
+        assert "backend=serial" in serial
+
+    def test_explain_batch_parallel_backend_reported(self, capsys):
+        code = main(
+            ["explain-batch", "--epochs", "400", "--seed", "0",
+             "--limit", "4", "--workers", "2", "--backend", "thread"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend=thread x2" in out
