@@ -1,0 +1,41 @@
+"""Shared helpers for the ``bench_e*.py`` experiment files.
+
+The benches run in two modes: timed (pytest-benchmark collects stats)
+and smoke (``--benchmark-disable`` in CI, where ``benchmark.stats`` is
+``None`` and any timing-derived assertion must be skipped).  Every
+bench that reads ``benchmark.stats`` or asserts a speedup goes through
+these helpers instead of copy-pasting the ``stats is None`` guard.
+"""
+
+import time
+
+__all__ = ["timing_enabled", "median_seconds", "timed"]
+
+
+def timing_enabled(benchmark) -> bool:
+    """Whether pytest-benchmark actually timed this test.
+
+    ``False`` under ``--benchmark-disable`` (the CI smoke mode), where
+    ``benchmark.stats`` is ``None`` — timing-derived assertions and
+    table rows must be gated on this; correctness/equivalence
+    assertions must not be.
+    """
+    return getattr(benchmark, "stats", None) is not None
+
+
+def median_seconds(benchmark) -> float | None:
+    """Median measured seconds, or ``None`` when timing is disabled."""
+    if not timing_enabled(benchmark):
+        return None
+    return benchmark.stats["median"]
+
+
+def timed(fn):
+    """Run ``fn()`` and return ``(result, elapsed_seconds)``.
+
+    For hand-rolled A/B comparisons (batch vs loop, cached vs naive)
+    where pytest-benchmark's single-callable model does not fit.
+    """
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

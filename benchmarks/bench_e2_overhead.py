@@ -18,6 +18,7 @@ text table snapshots median latencies for EXPERIMENTS.md.
 
 import pytest
 
+from benchmarks._util import median_seconds, timed, timing_enabled
 from benchmarks.conftest import save_result
 from repro.core.explainers import (
     KernelShapExplainer,
@@ -58,8 +59,8 @@ def test_e2_explain_latency(benchmark, name, sla_data, sla_forest, forest_fn):
     x = X_test[0]
     result = benchmark(explainer.explain, x)
     assert result.n_features == X_test.shape[1]
-    if benchmark.stats is not None:  # None under --benchmark-disable
-        _timings[name] = benchmark.stats["median"]
+    if timing_enabled(benchmark):  # stats are None under --benchmark-disable
+        _timings[name] = median_seconds(benchmark)
 
 
 _EXACTNESS = {
@@ -68,14 +69,6 @@ _EXACTNESS = {
     "kernel_shap_128": "sampled, 128 of 2^31 coalitions",
     "lime_600": "local surrogate (no Shapley guarantee)",
 }
-
-
-def _timed(fn):
-    import time
-
-    start = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - start
 
 
 def test_e2_batch_vs_loop(sla_data):
@@ -162,10 +155,10 @@ def test_e2_batch_vs_loop(sla_data):
     for label, build, rows, regime in configs:
         clear_cache()
         explainer = build()
-        batch, t_batch = _timed(lambda: explainer.explain_batch(rows))
+        batch, t_batch = timed(lambda: explainer.explain_batch(rows))
         clear_cache()
         explainer = build()
-        loop, t_loop = _timed(
+        loop, t_loop = timed(
             lambda: [explainer.explain(row) for row in rows]
         )
         diff = max(

@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Six subcommands mirror the library's workflow::
+Seven subcommands mirror the library's workflow::
 
     repro simulate      --epochs 2000 --seed 7 --out trace.npz
     repro train         --epochs 3000 --seed 7 --model random_forest
     repro explain       --epochs 3000 --seed 7 --epoch-index 42
     repro explain-batch --epochs 3000 --seed 7 --limit 32
     repro scenarios     list | run --scenarios baseline,fault-storm ...
+    repro stream        run --scenario fault-storm --window 64 ...
     repro validate
 
 (``python -m repro.cli ...`` works identically without installing the
@@ -16,13 +17,17 @@ console script.)  ``simulate`` writes the raw telemetry + labels to an
 diagnoses many epochs in one vectorized pass (shared coalition design
 and background evaluation — the fleet-triage fast path); ``scenarios``
 lists the workload catalog and sweeps the scenario × model × explainer
-matrix; ``validate`` runs the explainers against closed-form ground
-truth (a smoke test for installations).
+matrix; ``stream`` runs the online diagnosis engine over a scenario's
+telemetry as it is generated (sliding windows, cadenced refits,
+Page–Hinkley drift alarms — see ``docs/streaming.md``); ``validate``
+runs the explainers against closed-form ground truth (a smoke test for
+installations).
 
-The two fleet-scale commands (``explain-batch`` and ``scenarios run``)
-accept ``--workers N --backend {serial,thread,process}`` to fan work
-out across an execution backend (:mod:`repro.core.executor`); results
-are identical to the serial run for a fixed ``--seed``.
+The fleet-scale commands (``explain-batch``, ``scenarios run``, and
+``stream run``) accept ``--workers N --backend
+{serial,thread,process}`` to fan work out across an execution backend
+(:mod:`repro.core.executor`); results are identical to the serial run
+for a fixed ``--seed``.
 """
 
 from __future__ import annotations
@@ -59,6 +64,17 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0, with a readable error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -150,6 +166,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=0)
     _add_parallel_args(run)
+
+    stream = sub.add_parser(
+        "stream",
+        help="online streaming diagnosis over live telemetry",
+    )
+    stream_sub = stream.add_subparsers(dest="stream_command", required=True)
+    srun = stream_sub.add_parser(
+        "run",
+        help="stream a scenario through the windowed diagnosis engine",
+    )
+    srun.add_argument(
+        "--scenario", default="baseline",
+        help="scenario name (see: repro scenarios list)",
+    )
+    srun.add_argument(
+        "--epochs", type=_positive_int, default=1000,
+        help="streaming horizon in epochs",
+    )
+    srun.add_argument(
+        "--window", type=_positive_int, default=64,
+        help="epochs per diagnosis window",
+    )
+    srun.add_argument(
+        "--refit-every", type=_positive_int, default=4,
+        help="refit the model + explainer every N windows",
+    )
+    srun.add_argument(
+        "--explain-per-window", type=_nonnegative_int, default=8,
+        help="cap on violation epochs diagnosed per window (0 = monitor only)",
+    )
+    srun.add_argument(
+        "--batch-epochs", type=_positive_int, default=None,
+        help="epoch-batch granularity of the telemetry stream "
+             "(default: --window; never changes results)",
+    )
+    srun.add_argument(
+        "--method", default="kernel_shap",
+        help="explainer (kernel_shap, lime, sampling_shapley, ...)",
+    )
+    srun.add_argument(
+        "--model", choices=_MODEL_NAMES, default="logistic_regression"
+    )
+    srun.add_argument("--seed", type=int, default=0)
+    srun.add_argument(
+        "--no-timing", action="store_true",
+        help="drop wall-clock output (tables become byte-comparable "
+             "across runs and backends)",
+    )
+    _add_parallel_args(srun)
 
     sub.add_parser("validate", help="check explainers vs ground truth")
     return parser
@@ -388,6 +453,65 @@ def _cmd_scenarios(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    import time
+
+    from repro.core.stream import StreamingDiagnosisEngine
+    from repro.datasets import stream_scenario_telemetry
+    from repro.nfv.scenarios import list_scenarios
+
+    if args.scenario not in list_scenarios():
+        print(
+            f"unknown scenario {args.scenario!r}; see: repro scenarios list"
+        )
+        return 1
+    from repro.core.explainers import EXPLAINER_METHODS
+
+    if args.method not in EXPLAINER_METHODS:
+        print(
+            f"unknown explainer {args.method!r}; choose from "
+            f"{', '.join(EXPLAINER_METHODS)}"
+        )
+        return 1
+
+    engine = StreamingDiagnosisEngine(
+        _model_factories()[args.model],
+        window_epochs=args.window,
+        refit_every=args.refit_every,
+        explainer_method=args.method,
+        explain_per_window=args.explain_per_window,
+        backend=args.backend,
+        workers=args.workers,
+        random_state=args.seed,
+    )
+    stream = stream_scenario_telemetry(
+        args.scenario,
+        args.epochs,
+        batch_epochs=args.batch_epochs or args.window,
+        random_state=args.seed,
+    )
+    start = time.perf_counter()
+    report = engine.run(stream, progress=print)
+    elapsed = time.perf_counter() - start
+
+    print()
+    print(report.format_table(timing=not args.no_timing))
+    backend = report.extras.get("backend", "serial")
+    workers = report.extras.get("workers", 1)
+    footer = (
+        f"\n{report.summary()}\nscenario={args.scenario}, "
+        f"model={args.model}, explainer={args.method}, seed={args.seed}, "
+        f"backend={backend}"
+        + (f" x{workers}" if backend != "serial" else "")
+    )
+    if not args.no_timing:
+        footer += (
+            f"; {args.epochs / elapsed:.0f} epochs/s ({elapsed:.2f}s total)"
+        )
+    print(footer)
+    return 0
+
+
 def _cmd_validate(_args) -> int:
     from repro.core.explainers import (
         ExactShapleyExplainer,
@@ -429,6 +553,7 @@ def main(argv=None) -> int:
         "explain": _cmd_explain,
         "explain-batch": _cmd_explain_batch,
         "scenarios": _cmd_scenarios,
+        "stream": _cmd_stream,
         "validate": _cmd_validate,
     }
     return handlers[args.command](args)

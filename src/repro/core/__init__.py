@@ -9,6 +9,9 @@
 * :mod:`repro.core.pipeline` / :mod:`repro.core.rootcause` /
   :mod:`repro.core.report` — the NFV-facing layer that turns feature
   attributions into per-VNF / per-resource diagnoses for operators.
+* :mod:`repro.core.stream` — online diagnosis over live telemetry:
+  sliding windows, cadenced refits, batched windowed explanation, and
+  Page–Hinkley drift alarms.
 """
 
 from repro.core.cache import cache_stats, clear_cache, get_cache
@@ -46,6 +49,12 @@ from repro.core.matrix import (
 )
 from repro.core.pipeline import NFVDiagnosis, NFVExplainabilityPipeline
 from repro.core.rootcause import RootCauseEvaluator, vnf_attribution_scores
+from repro.core.stream import (
+    PageHinkley,
+    StreamingDiagnosisEngine,
+    StreamReport,
+    StreamWindow,
+)
 
 __all__ = [
     "available_workers",
@@ -74,7 +83,11 @@ __all__ = [
     "NFVDiagnosis",
     "run_scenario_matrix",
     "NFVExplainabilityPipeline",
+    "PageHinkley",
     "PartialDependence",
+    "StreamingDiagnosisEngine",
+    "StreamReport",
+    "StreamWindow",
     "PermutationImportance",
     "RootCauseEvaluator",
     "SamplingShapleyExplainer",

@@ -68,6 +68,7 @@ __all__ = [
     "PDPResult",
     "PermutationImportance",
     "SamplingShapleyExplainer",
+    "STOCHASTIC_EXPLAINERS",
     "SurrogateTreeExplainer",
     "TreeShapExplainer",
 ]
@@ -84,6 +85,16 @@ EXPLAINER_METHODS = (
     "linear_shap",
     "sampling_shapley",
     "tree_shap",
+)
+
+#: Methods whose estimates are sampled and therefore accept a
+#: ``random_state`` constructor argument.  Experiment runners (the
+#: scenario matrix, the streaming engine) seed exactly these so
+#: integer-seeded runs are reproducible end to end — one shared
+#: definition, so a new stochastic explainer cannot be seeded by one
+#: runner and silently left unseeded by another.
+STOCHASTIC_EXPLAINERS = frozenset(
+    {"kernel_shap", "sampling_shapley", "lime"}
 )
 
 _TREE_MODELS = (

@@ -47,6 +47,7 @@ from repro.core.evaluation import (
     input_stability,
 )
 from repro.core.executor import get_executor
+from repro.core.explainers import STOCHASTIC_EXPLAINERS
 from repro.core.pipeline import NFVExplainabilityPipeline
 from repro.datasets import make_scenario_dataset
 
@@ -57,12 +58,6 @@ __all__ = [
     "default_explainer_kwargs",
     "run_scenario_matrix",
 ]
-
-#: Explainers that accept a ``random_state`` constructor argument; the
-#: runner seeds them so matrix runs are reproducible end to end.
-_STOCHASTIC_EXPLAINERS = frozenset(
-    {"kernel_shap", "sampling_shapley", "lime"}
-)
 
 
 def default_model_factories() -> dict:
@@ -447,7 +442,7 @@ def run_scenario_matrix(
 
     def kwargs_for(method: str) -> dict:
         kw = {**default_explainer_kwargs(method), **overrides.get(method, {})}
-        if method in _STOCHASTIC_EXPLAINERS:
+        if method in STOCHASTIC_EXPLAINERS:
             kw.setdefault("random_state", random_state)
         return kw
 

@@ -1,0 +1,133 @@
+"""Page–Hinkley change detection for streaming diagnosis.
+
+The streaming engine watches two scalar series for concept drift: the
+per-window SLA-violation rate, and the window-to-window shift of the
+mean attribution profile.  Both are monitored with the Page–Hinkley
+test — the classic sequential change-point detector: cheap (O(1) state
+per update), parameter-light, and with a clean "no change, no alarm"
+guarantee that the property suite pins down
+(``tests/core/test_properties_stream.py``).
+
+The test maintains the cumulative deviation of the observed values
+from their running mean, discounted by a tolerance ``delta``::
+
+    m_t = sum_{i<=t} (x_i - mean_i - delta)        (upward detector)
+
+and alarms when ``m_t`` exceeds its own running minimum by more than
+``threshold`` — i.e. when recent values have been persistently above
+the historical mean by more than ``delta`` on average.  The downward
+detector mirrors the construction.  On a constant stream every
+increment is ``-delta <= 0`` (upward) or ``+delta >= 0`` (downward),
+so the gap to the running extremum stays exactly zero and the detector
+can never fire — for *any* valid parameters.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PageHinkley"]
+
+_DIRECTIONS = ("up", "down", "both")
+
+
+class PageHinkley:
+    """Sequential Page–Hinkley change detector over a scalar stream.
+
+    Parameters
+    ----------
+    delta:
+        Tolerated drift magnitude: deviations from the running mean
+        smaller than ``delta`` never accumulate toward an alarm.
+    threshold:
+        Alarm threshold (``lambda`` in the literature) on the gap
+        between the cumulative statistic and its running extremum.
+        Larger values trade detection delay for fewer false alarms.
+        Must be positive — that is what guarantees silence on a
+        constant stream.
+    min_samples:
+        Updates to observe before alarms may fire (the running mean is
+        meaningless on the first few values).
+    direction:
+        ``"up"`` detects increases (e.g. a violation-rate surge),
+        ``"down"`` detects decreases, ``"both"`` runs both detectors.
+
+    After an alarm the detector resets itself (statistics restart from
+    scratch), so a persistent shift raises one alarm per stabilization
+    rather than an alarm on every subsequent update; :meth:`reset` does
+    the same by hand.  Restarts are *monotone*: a reset detector is
+    indistinguishable from a freshly constructed one.
+    """
+
+    def __init__(
+        self,
+        *,
+        delta: float = 0.005,
+        threshold: float = 0.1,
+        min_samples: int = 5,
+        direction: str = "up",
+    ):
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {threshold}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}, got {direction!r}"
+            )
+        self.delta = float(delta)
+        self.threshold = float(threshold)
+        self.min_samples = int(min_samples)
+        self.direction = direction
+        self.n_alarms = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Restart the statistics from scratch (alarm count persists)."""
+        self.n_seen = 0
+        self._mean = 0.0
+        self._m_up = 0.0
+        self._m_up_min = 0.0
+        self._m_down = 0.0
+        self._m_down_max = 0.0
+
+    @property
+    def statistic(self) -> float:
+        """Current gap to the running extremum (max over directions,
+        never negative); an alarm fires when it exceeds ``threshold``."""
+        gap_up = self._m_up - self._m_up_min
+        gap_down = self._m_down_max - self._m_down
+        if self.direction == "up":
+            return gap_up
+        if self.direction == "down":
+            return gap_down
+        return max(gap_up, gap_down)
+
+    def update(self, value: float) -> bool:
+        """Observe one value; return ``True`` if drift is detected.
+
+        On detection the internal statistics are reset (see class
+        docstring) and ``n_alarms`` is incremented.
+        """
+        value = float(value)
+        self.n_seen += 1
+        # incremental running mean *including* the current value
+        self._mean += (value - self._mean) / self.n_seen
+        self._m_up += value - self._mean - self.delta
+        self._m_up_min = min(self._m_up_min, self._m_up)
+        self._m_down += value - self._mean + self.delta
+        self._m_down_max = max(self._m_down_max, self._m_down)
+        if self.n_seen < self.min_samples:
+            return False
+        if self.statistic > self.threshold:
+            self.n_alarms += 1
+            self.reset()
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"PageHinkley(delta={self.delta}, threshold={self.threshold}, "
+            f"direction={self.direction!r}, n_seen={self.n_seen}, "
+            f"n_alarms={self.n_alarms})"
+        )

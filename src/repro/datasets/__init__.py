@@ -14,6 +14,7 @@ from repro.datasets.nfv_tasks import (
     make_root_cause_dataset,
     make_scenario_dataset,
     make_sla_violation_dataset,
+    stream_scenario_telemetry,
 )
 from repro.datasets.synthetic import (
     make_interaction_regression,
@@ -32,4 +33,5 @@ __all__ = [
     "make_sparse_classification",
     "make_xor_classification",
     "NFVDataset",
+    "stream_scenario_telemetry",
 ]

@@ -24,6 +24,7 @@ __all__ = [
     "make_latency_dataset",
     "make_root_cause_dataset",
     "make_scenario_dataset",
+    "stream_scenario_telemetry",
 ]
 
 
@@ -314,3 +315,43 @@ def make_scenario_dataset(
         simulator_kwargs=dict(spec.simulator_kwargs),
     )
     return dataset
+
+
+def stream_scenario_telemetry(
+    name: str,
+    n_epochs: int | None = None,
+    *,
+    batch_epochs: int = 64,
+    random_state=None,
+    scenario_kwargs: dict | None = None,
+):
+    """Stream a named scenario's telemetry as epoch batches.
+
+    The online counterpart of :func:`make_scenario_dataset` for the
+    ``sla_violation`` task: instead of materializing one
+    :class:`NFVDataset` up front, it returns a
+    :class:`~repro.nfv.simulator.SimulationStream` yielding
+    :class:`~repro.nfv.simulator.EpochBatch` slices of ``batch_epochs``
+    epochs — what the streaming diagnosis engine
+    (:class:`repro.core.stream.StreamingDiagnosisEngine`) consumes.
+
+    Determinism contract: the RNG plumbing is identical to
+    :func:`make_scenario_dataset`, so streaming the full horizon and
+    calling :meth:`~repro.nfv.simulator.SimulationStream.collect`
+    reproduces the materialized dataset's features and labels byte for
+    byte under the same integer ``random_state``
+    (``tests/core/test_properties_stream.py`` enforces this).
+
+    The returned stream additionally carries the built
+    :class:`~repro.nfv.scenarios.ScenarioSpec` as ``stream.spec``.
+    """
+    rng = check_random_state(random_state)
+    scenario_rng, data_rng = spawn_rngs(rng, 2)
+    spec = build_scenario(
+        name, random_state=scenario_rng, **(scenario_kwargs or {})
+    )
+    stream = spec.stream(
+        n_epochs, batch_epochs=batch_epochs, random_state=data_rng
+    )
+    stream.spec = spec
+    return stream

@@ -34,10 +34,15 @@ from dataclasses import dataclass, field
 
 from repro.nfv.faults import FaultInjector, FaultKind
 from repro.nfv.sfc import SLA
-from repro.nfv.simulator import Testbed, build_testbed
+from repro.nfv.simulator import (
+    SimulationStream,
+    Simulator,
+    Testbed,
+    build_testbed,
+)
 from repro.nfv.topology import NfviTopology
 from repro.nfv.traffic import TrafficModel
-from repro.utils.rng import check_random_state
+from repro.utils.rng import check_random_state, spawn_rngs
 
 __all__ = [
     "ScenarioSpec",
@@ -79,6 +84,38 @@ class ScenarioSpec:
     simulator_kwargs: dict = field(default_factory=dict)
     default_epochs: int = 2000
     knobs: dict = field(default_factory=dict)
+
+    def stream(
+        self,
+        n_epochs: int | None = None,
+        *,
+        batch_epochs: int = 64,
+        random_state=None,
+    ) -> SimulationStream:
+        """Simulate this scenario lazily, yielding epoch batches.
+
+        The online counterpart of materializing a dataset from the
+        spec: builds the scenario's simulator and returns a
+        :class:`~repro.nfv.simulator.SimulationStream` over
+        :class:`~repro.nfv.simulator.EpochBatch` slices.  The RNG
+        discipline mirrors the dataset builders exactly — two child
+        generators are spawned and the first (the testbed seed, unused
+        here because the testbed is already built) is discarded — so
+        streaming the full horizon and collecting reproduces
+        :func:`repro.datasets.make_scenario_dataset` byte for byte
+        under the same seed when driven through
+        :func:`repro.datasets.stream_scenario_telemetry`.
+        """
+        if n_epochs is None:
+            n_epochs = self.default_epochs
+        rng = check_random_state(random_state)
+        _tb_rng, sim_rng = spawn_rngs(rng, 2)
+        sim = Simulator(
+            self.testbed, random_state=sim_rng, **self.simulator_kwargs
+        )
+        return sim.stream(
+            n_epochs, batch_epochs=batch_epochs, fault_injector=self.injector
+        )
 
 
 #: name -> (generator, description, default knobs)

@@ -40,7 +40,14 @@ from repro.nfv.vnf import VNFInstance
 from repro.utils.rng import check_random_state, spawn_rngs
 from repro.utils.tabular import FeatureMatrix
 
-__all__ = ["Testbed", "Simulator", "SimulationResult", "build_testbed"]
+__all__ = [
+    "EpochBatch",
+    "SimulationStream",
+    "Testbed",
+    "Simulator",
+    "SimulationResult",
+    "build_testbed",
+]
 
 #: Memory utilization above which the swap penalty kicks in.
 SWAP_THRESHOLD = 0.9
@@ -145,6 +152,106 @@ class SimulationResult:
         )
 
 
+@dataclass
+class EpochBatch:
+    """A contiguous slice of simulated epochs, emitted by a stream.
+
+    The streaming unit of telemetry: everything
+    :class:`SimulationResult` records, restricted to epochs
+    ``[start_epoch, end_epoch)``.  Batches from one stream are disjoint,
+    ordered, and cover the horizon exactly, so concatenating them
+    reproduces the materialized run byte for byte (see
+    :meth:`SimulationStream.collect`).
+    """
+
+    start_epoch: int
+    features: FeatureMatrix
+    latency_ms: np.ndarray
+    loss_rate: np.ndarray
+    sla_violation: np.ndarray
+    root_cause: np.ndarray
+    culprit_vnfs: list[tuple[int, ...]]
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.latency_ms)
+
+    @property
+    def end_epoch(self) -> int:
+        """One past the last epoch in this batch."""
+        return self.start_epoch + self.n_epochs
+
+    @property
+    def violation_rate(self) -> float:
+        if self.n_epochs == 0:
+            return 0.0
+        return float(np.mean(self.sla_violation))
+
+
+class SimulationStream:
+    """Single-pass iterator over :class:`EpochBatch` objects.
+
+    Produced by :meth:`Simulator.stream` (and, one level up,
+    :meth:`repro.nfv.scenarios.ScenarioSpec.stream`).  The fault
+    schedule, traffic traces, and chain metadata are resolved eagerly —
+    ``events``, ``chain``, and ``feature_names`` are available before
+    the first batch — while telemetry is simulated lazily, one batch at
+    a time, as the stream is consumed.
+
+    Attributes
+    ----------
+    chain:
+        The monitored chain (for resolving VNF indices in reports).
+    events:
+        The full injected fault schedule (drawn up front, like
+        :meth:`Simulator.run` does).
+    feature_names:
+        Telemetry schema of every batch's ``features``.
+    n_epochs, batch_epochs:
+        Total horizon and the batch granularity; every batch has
+        ``batch_epochs`` epochs except possibly the last.
+    """
+
+    def __init__(self, batches, *, chain, events, feature_names,
+                 n_epochs: int, batch_epochs: int):
+        self._batches = batches
+        self.chain = chain
+        self.events = events
+        self.feature_names = list(feature_names)
+        self.n_epochs = int(n_epochs)
+        self.batch_epochs = int(batch_epochs)
+
+    def __iter__(self):
+        return self._batches
+
+    def collect(self) -> SimulationResult:
+        """Drain the (remaining) stream into a :class:`SimulationResult`.
+
+        Streaming the full horizon and collecting reproduces
+        :meth:`Simulator.run` byte for byte under the same seed — the
+        contract ``tests/nfv/test_simulator_stream.py`` enforces.
+        """
+        batches = list(self._batches)
+        if not batches:
+            raise ValueError("stream is exhausted; nothing to collect")
+        culprits: list[tuple[int, ...]] = []
+        for batch in batches:
+            culprits.extend(batch.culprit_vnfs)
+        return SimulationResult(
+            features=FeatureMatrix(
+                np.vstack([b.features.values for b in batches]),
+                self.feature_names,
+            ),
+            latency_ms=np.concatenate([b.latency_ms for b in batches]),
+            loss_rate=np.concatenate([b.loss_rate for b in batches]),
+            sla_violation=np.concatenate([b.sla_violation for b in batches]),
+            root_cause=np.concatenate([b.root_cause for b in batches]),
+            culprit_vnfs=culprits,
+            events=self.events,
+            chain=self.chain,
+        )
+
+
 class _VNFState:
     """Mutable per-instance fault state (leak level, config factor)."""
 
@@ -210,9 +317,50 @@ class Simulator:
         Provide either an explicit ``fault_events`` schedule, a
         ``fault_injector`` (a schedule is drawn), or neither (fault-free
         run — violations then stem only from natural overload).
+
+        Implemented as one maximal batch of :meth:`stream`, so the
+        materialized and streaming paths cannot drift apart.
+        """
+        return self.stream(
+            n_epochs,
+            batch_epochs=n_epochs,
+            fault_events=fault_events,
+            fault_injector=fault_injector,
+        ).collect()
+
+    def stream(
+        self,
+        n_epochs: int,
+        *,
+        batch_epochs: int = 64,
+        fault_events: list[FaultEvent] | None = None,
+        fault_injector=None,
+    ) -> SimulationStream:
+        """Simulate lazily, yielding :class:`EpochBatch` slices.
+
+        The online counterpart of :meth:`run`: setup (RNG spawning,
+        fault schedule, traffic traces) happens eagerly and in exactly
+        the same order as :meth:`run`, then epochs are simulated only as
+        the returned :class:`SimulationStream` is consumed, in batches
+        of ``batch_epochs``.  Collecting the full stream therefore
+        reproduces :meth:`run` byte for byte under the same seed —
+        batching changes *when* telemetry materializes, never its
+        values.
+
+        Parameters
+        ----------
+        n_epochs:
+            Total simulation horizon.
+        batch_epochs:
+            Epochs per emitted batch (the last batch may be shorter).
+        fault_events, fault_injector:
+            As in :meth:`run` — one explicit schedule, one injector to
+            draw from, or neither.
         """
         if n_epochs < 1:
             raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+        if batch_epochs < 1:
+            raise ValueError(f"batch_epochs must be >= 1, got {batch_epochs}")
         if fault_events is not None and fault_injector is not None:
             raise ValueError("pass fault_events or fault_injector, not both")
         rng = check_random_state(self.random_state)
@@ -236,35 +384,48 @@ class Simulator:
         states = [_VNFState(inst) for inst in tb.chain.instances]
         base_propagation_ms = tb.chain.propagation_latency_us(tb.topology) / 1000.0
 
-        latency = np.zeros(n_epochs)
-        loss = np.zeros(n_epochs)
-        violation = np.zeros(n_epochs, dtype=np.int64)
-        root_cause: list[str] = []
-        culprits: list[tuple[int, ...]] = []
+        def batches():
+            latency: list[float] = []
+            loss: list[float] = []
+            violation: list[int] = []
+            root_cause: list[str] = []
+            culprits: list[tuple[int, ...]] = []
+            start = 0
+            for t in range(n_epochs):
+                active = [e for e in events if e.active_at(t)]
+                epoch_out = self._run_epoch(
+                    t, trace, bg_traces, states, active,
+                    base_propagation_ms, collector,
+                )
+                latency.append(epoch_out["latency_ms"])
+                loss.append(epoch_out["loss_rate"])
+                violation.append(int(tb.chain.sla.is_violated(
+                    epoch_out["latency_ms"], epoch_out["loss_rate"]
+                )))
+                cause, culprit = self._ground_truth(active, tb)
+                root_cause.append(cause)
+                culprits.append(culprit)
+                if len(latency) == batch_epochs or t == n_epochs - 1:
+                    yield EpochBatch(
+                        start_epoch=start,
+                        features=collector.flush(),
+                        latency_ms=np.asarray(latency),
+                        loss_rate=np.asarray(loss),
+                        sla_violation=np.asarray(violation, dtype=np.int64),
+                        root_cause=np.asarray(root_cause, dtype=object),
+                        culprit_vnfs=culprits,
+                    )
+                    start = t + 1
+                    latency, loss, violation = [], [], []
+                    root_cause, culprits = [], []
 
-        for t in range(n_epochs):
-            active = [e for e in events if e.active_at(t)]
-            epoch_out = self._run_epoch(
-                t, trace, bg_traces, states, active, base_propagation_ms, collector
-            )
-            latency[t] = epoch_out["latency_ms"]
-            loss[t] = epoch_out["loss_rate"]
-            violation[t] = int(
-                tb.chain.sla.is_violated(epoch_out["latency_ms"], epoch_out["loss_rate"])
-            )
-            cause, culprit = self._ground_truth(active, tb)
-            root_cause.append(cause)
-            culprits.append(culprit)
-
-        return SimulationResult(
-            features=collector.to_feature_matrix(),
-            latency_ms=latency,
-            loss_rate=loss,
-            sla_violation=violation,
-            root_cause=np.asarray(root_cause, dtype=object),
-            culprit_vnfs=culprits,
-            events=events,
+        return SimulationStream(
+            batches(),
             chain=tb.chain,
+            events=events,
+            feature_names=collector.feature_names,
+            n_epochs=n_epochs,
+            batch_epochs=batch_epochs,
         )
 
     # ------------------------------------------------------------------

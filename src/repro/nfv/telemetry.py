@@ -141,3 +141,19 @@ class TelemetryCollector:
         if not self._rows:
             raise ValueError("no epochs recorded")
         return FeatureMatrix(np.asarray(self._rows), self.feature_names)
+
+    def flush(self) -> FeatureMatrix:
+        """Render the epochs recorded since the last flush and clear them.
+
+        The streaming counterpart of :meth:`to_feature_matrix`: the
+        simulator's batch generator flushes the collector once per epoch
+        batch, so memory stays bounded by the batch size instead of the
+        full horizon.  Flushing every batch and stacking the results
+        reproduces :meth:`to_feature_matrix` byte for byte (rows are
+        converted with the same dtype and order).
+        """
+        if not self._rows:
+            raise ValueError("no epochs recorded since the last flush")
+        matrix = FeatureMatrix(np.asarray(self._rows), self.feature_names)
+        self._rows = []
+        return matrix

@@ -1,0 +1,186 @@
+"""Property-based tests for the streaming layer.
+
+Four invariants, each required for *any* valid configuration — not
+just the committed ones:
+
+* **chunking invariance** — how the incoming telemetry is sliced into
+  epoch batches never changes window boundaries or window contents;
+* **no-change, no-alarm** — the Page–Hinkley detector can never fire
+  on a constant stream, for any valid parameters;
+* **monotone restart** — a reset detector is indistinguishable from a
+  fresh one: replaying the same values reproduces the same alarms;
+* **stream == materialized** — streaming a scenario's full horizon and
+  collecting reproduces `make_scenario_dataset` byte for byte under
+  the same integer seed, for any horizon and batch size.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stream import PageHinkley, StreamingDiagnosisEngine
+from repro.datasets import make_scenario_dataset, stream_scenario_telemetry
+from repro.nfv.simulator import EpochBatch
+from repro.utils.tabular import FeatureMatrix
+
+N_EPOCHS = 96
+
+
+def _batches_from_rows(X, y, cuts):
+    """Slice one row sequence into EpochBatch chunks at ``cuts``."""
+    edges = [0, *sorted(cuts), len(y)]
+    batches = []
+    for start, stop in zip(edges, edges[1:]):
+        if stop == start:
+            continue
+        batches.append(EpochBatch(
+            start_epoch=start,
+            features=FeatureMatrix(
+                X[start:stop], [f"f{i}" for i in range(X.shape[1])]
+            ),
+            latency_ms=np.zeros(stop - start),
+            loss_rate=np.zeros(stop - start),
+            sla_violation=y[start:stop],
+            root_cause=np.asarray(["none"] * (stop - start), dtype=object),
+            culprit_vnfs=[()] * (stop - start),
+        ))
+    return batches
+
+
+class TestChunkingInvariance:
+    @given(
+        cuts=st.lists(
+            st.integers(min_value=1, max_value=N_EPOCHS - 1),
+            max_size=8,
+        ),
+        window=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_windows_independent_of_batch_slicing(self, cuts, window):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(N_EPOCHS, 3))
+        y = (rng.random(N_EPOCHS) < 0.3).astype(np.int64)
+
+        def run(batches):
+            engine = StreamingDiagnosisEngine(
+                window_epochs=window, explain_per_window=0, random_state=0
+            )
+            report = engine.run(iter(batches))
+            return [
+                (w.index, w.start_epoch, w.end_epoch, w.violation_rate)
+                for w in report.windows
+            ]
+
+        reference = run(_batches_from_rows(X, y, []))
+        chunked = run(_batches_from_rows(X, y, cuts))
+        assert chunked == reference
+        # boundaries depend only on the stream length and window size
+        assert [w[2] - w[1] for w in reference[:-1]] == (
+            [window] * (len(reference) - 1)
+        )
+
+
+class TestDriftDetectorProperties:
+    @given(
+        value=st.floats(
+            min_value=-1e6, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        ),
+        delta=st.floats(min_value=0.0, max_value=1.0),
+        threshold=st.floats(
+            min_value=1e-6, max_value=10.0, exclude_min=True
+        ),
+        min_samples=st.integers(min_value=1, max_value=10),
+        direction=st.sampled_from(["up", "down", "both"]),
+        n=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_fires_on_a_constant_stream(
+        self, value, delta, threshold, min_samples, direction, n
+    ):
+        detector = PageHinkley(
+            delta=delta, threshold=threshold,
+            min_samples=min_samples, direction=direction,
+        )
+        assert not any(detector.update(value) for _ in range(n))
+        assert detector.n_alarms == 0
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-100.0, max_value=100.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1, max_size=60,
+        ),
+        delta=st.floats(min_value=0.0, max_value=0.5),
+        threshold=st.floats(min_value=0.01, max_value=5.0),
+        direction=st.sampled_from(["up", "down", "both"]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_restart_after_reset(
+        self, values, delta, threshold, direction
+    ):
+        fresh = PageHinkley(
+            delta=delta, threshold=threshold, direction=direction
+        )
+        recycled = PageHinkley(
+            delta=delta, threshold=threshold, direction=direction
+        )
+        # dirty the recycled detector with unrelated history, then reset
+        for v in values[::-1]:
+            recycled.update(v + 1.0)
+        recycled.reset()
+        assert [recycled.update(v) for v in values] == [
+            fresh.update(v) for v in values
+        ]
+        assert recycled.statistic == fresh.statistic
+        assert recycled.n_seen == fresh.n_seen
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-10.0, max_value=10.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1, max_size=60,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_n_seen_counts_monotonically(self, values):
+        detector = PageHinkley(delta=0.1, threshold=1.0, direction="both")
+        seen = 0
+        for v in values:
+            fired = detector.update(v)
+            if fired:
+                seen = 0  # alarms restart the statistics
+            else:
+                seen += 1
+            assert detector.n_seen == seen
+            assert detector.statistic >= 0.0
+
+
+class TestStreamMaterializedEquivalence:
+    @given(
+        n_epochs=st.integers(min_value=1, max_value=60),
+        batch_epochs=st.integers(min_value=1, max_value=70),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_full_horizon_stream_equals_dataset(
+        self, n_epochs, batch_epochs, seed
+    ):
+        dataset = make_scenario_dataset(
+            "fault-storm", n_epochs, random_state=seed
+        )
+        result = stream_scenario_telemetry(
+            "fault-storm", n_epochs,
+            batch_epochs=batch_epochs, random_state=seed,
+        ).collect()
+        assert (
+            dataset.X.values.tobytes() == result.features.values.tobytes()
+        )
+        assert (dataset.y == result.sla_violation).all()
+        assert (
+            dataset.result.root_cause == result.root_cause
+        ).all()

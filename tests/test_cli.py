@@ -286,3 +286,63 @@ class TestParallelFlags:
         out = capsys.readouterr().out
         assert code == 0
         assert "backend=thread x2" in out
+
+
+class TestStream:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["stream", "run"])
+        assert args.command == "stream"
+        assert args.stream_command == "run"
+        assert args.scenario == "baseline"
+        assert args.window == 64
+        assert args.refit_every == 4
+        assert args.backend == "auto"
+        assert not args.no_timing
+
+    def test_parser_rejects_bad_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "run", "--window", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stream", "run", "--explain-per-window", "-1"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream"])  # subcommand required
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["stream", "run", "--scenario", "nope"]) == 1
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_unknown_method_rejected(self, capsys):
+        assert main(
+            ["stream", "run", "--method", "astrology", "--epochs", "64"]
+        ) == 1
+        assert "unknown explainer" in capsys.readouterr().out
+
+    def test_stream_run_prints_windows_and_summary(self, capsys):
+        code = main(
+            ["stream", "run", "--scenario", "fault-storm",
+             "--epochs", "192", "--window", "64", "--seed", "7",
+             "--explain-per-window", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "window 0 [0-64)" in out          # progress lines
+        assert "viol" in out and "drift" in out  # report table
+        assert "192 epochs in 3 windows" in out  # summary footer
+        assert "epochs/s" in out                 # timing enabled
+
+    def test_no_timing_output_is_byte_comparable(self, capsys):
+        argv = ["stream", "run", "--scenario", "fault-storm",
+                "--epochs", "192", "--window", "64", "--seed", "7",
+                "--explain-per-window", "2", "--no-timing"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--backend", "thread", "--workers", "2"]) == 0
+        second = capsys.readouterr().out
+        assert "epochs/s" not in first
+        # identical modulo the backend trailer line
+        strip = lambda text: [l for l in text.splitlines()
+                              if not l.startswith("scenario=")]
+        assert strip(first) == strip(second)
+        assert "backend=thread x2" in second
