@@ -46,6 +46,17 @@ Parallel execution adds two constraints, both handled here:
   harmless by the same probe-row spot-check that guards in-place
   refits.
 
+Every tier is LRU-bounded.  Per-function background entries and
+coalition designs have had per-key caps from the start
+(``max_backgrounds`` / ``max_designs``); ``max_total_entries``
+additionally bounds the *total* number of identity-tier background
+entries across all predict functions.  Without it a long
+``repro stream run`` session — which builds a fresh predict function
+at every refit window and keeps explainers (and therefore weak keys)
+alive in its sliding history — could grow the cache without limit;
+with it the oldest entries are evicted and simply recomputed if ever
+requested again, so eviction can never change results, only timings.
+
 The module-level singleton is what the explainers use; call
 :func:`clear_cache` between unrelated experiments if you want cold
 timings, and :func:`cache_stats` to see hit rates.
@@ -95,17 +106,36 @@ class ExplainerCache:
         per predict function.
     max_designs:
         Distinct coalition designs kept across all explainers.
+    max_total_entries:
+        Total identity-tier background entries kept across *all*
+        predict functions.  The global LRU: with many live predict
+        functions (e.g. a streaming session refitting every window),
+        the least recently used entries are evicted once this cap is
+        reached.  Eviction only ever forces a recompute on the next
+        request — it cannot change returned values.
     """
 
-    def __init__(self, *, max_backgrounds: int = 32, max_designs: int = 64):
-        if max_backgrounds < 1 or max_designs < 1:
+    def __init__(
+        self,
+        *,
+        max_backgrounds: int = 32,
+        max_designs: int = 64,
+        max_total_entries: int = 256,
+    ):
+        if max_backgrounds < 1 or max_designs < 1 or max_total_entries < 1:
             raise ValueError("cache sizes must be >= 1")
         self.max_backgrounds = int(max_backgrounds)
         self.max_designs = int(max_designs)
+        self.max_total_entries = int(max_total_entries)
         # predict_fn (weak) -> OrderedDict[fingerprint -> predictions]
         self._backgrounds: "weakref.WeakKeyDictionary" = (
             weakref.WeakKeyDictionary()
         )
+        # global LRU over identity-tier entries: (weakref, fingerprint)
+        # in least-recently-used-first order.  Entries whose referent
+        # died linger until they age out of the front; they are skipped
+        # (their predictions already vanished with the weak key).
+        self._bg_order: OrderedDict[tuple, None] = OrderedDict()
         # (cache_token, fingerprint) -> predictions; survives the loss
         # of object identity across pickling/process boundaries
         self._background_tokens: OrderedDict[tuple, np.ndarray] = OrderedDict()
@@ -113,6 +143,7 @@ class ExplainerCache:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # -- background predictions ---------------------------------------
     @staticmethod
@@ -134,6 +165,41 @@ class ExplainerCache:
         return probe.shape == cached[idx].shape and np.array_equal(
             probe, cached[idx]
         )
+
+    # -- global LRU over identity-tier entries (caller holds the lock) --
+    def _note_use(self, predict_fn, key: str) -> None:
+        """Mark an identity-tier entry as most recently used."""
+        try:
+            order_key = (weakref.ref(predict_fn), key)
+        except TypeError:  # not weak-referenceable: not in this tier
+            return
+        if order_key in self._bg_order:
+            self._bg_order.move_to_end(order_key)
+
+    def _forget_entry(self, predict_fn, key: str) -> None:
+        """Drop an identity-tier entry from the global LRU order."""
+        try:
+            self._bg_order.pop((weakref.ref(predict_fn), key), None)
+        except TypeError:
+            pass
+
+    def _record_entry(self, predict_fn, key: str) -> None:
+        """Register a fresh identity-tier entry, then evict the global
+        LRU down to ``max_total_entries``."""
+        try:
+            order_key = (weakref.ref(predict_fn), key)
+        except TypeError:
+            return
+        self._bg_order[order_key] = None
+        self._bg_order.move_to_end(order_key)
+        while len(self._bg_order) > self.max_total_entries:
+            (ref, old_key), _ = self._bg_order.popitem(last=False)
+            fn = ref()
+            if fn is None:
+                continue  # predictions already died with the weak key
+            per_fn = self._backgrounds.get(fn)
+            if per_fn is not None and per_fn.pop(old_key, None) is not None:
+                self.evictions += 1
 
     def _store_token(self, token: str, key: str, preds: np.ndarray) -> None:
         """Insert/refresh a token-fallback entry (caller holds the lock)."""
@@ -162,6 +228,11 @@ class ExplainerCache:
         wrong model that coincides with the cached one on all three
         probe rows is undetectable — build a fresh predict function for
         a refit model to be certain.
+
+        Identity-tier entries across all predict functions share one
+        global LRU bounded by ``max_total_entries``; the least recently
+        used entries are evicted (and recomputed if requested again),
+        so long-running sessions cannot grow the cache without limit.
 
         Thread-safe: bookkeeping happens under the cache lock, model
         calls (probes, recomputes) outside it.
@@ -192,12 +263,14 @@ class ExplainerCache:
                     self.hits += 1
                     if per_fn is not None and key in per_fn:
                         per_fn.move_to_end(key)
+                        self._note_use(predict_fn, key)
                     if token is not None:
                         self._store_token(token, key, cached)
                 return cached
             with self._lock:  # model changed behind the key(s)
                 if per_fn is not None:
                     per_fn.pop(key, None)
+                    self._forget_entry(predict_fn, key)
                 if token is not None:
                     self._background_tokens.pop((token, key), None)
         preds = np.asarray(predict_fn(background), dtype=float).copy()
@@ -210,8 +283,10 @@ class ExplainerCache:
                     per_fn = OrderedDict()
                     self._backgrounds[predict_fn] = per_fn
                 per_fn[key] = preds
+                self._record_entry(predict_fn, key)
                 while len(per_fn) > self.max_backgrounds:
-                    per_fn.popitem(last=False)
+                    evicted_key, _ = per_fn.popitem(last=False)
+                    self._forget_entry(predict_fn, evicted_key)
             except TypeError:  # not weak-referenceable: token tier only
                 pass
             if token is not None:
@@ -251,10 +326,12 @@ class ExplainerCache:
         """Drop every cached entry and reset the hit/miss counters."""
         with self._lock:
             self._backgrounds.clear()
+            self._bg_order.clear()
             self._background_tokens.clear()
             self._designs.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> dict:
         """Hit/miss counters and current entry counts."""
@@ -263,6 +340,7 @@ class ExplainerCache:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
                 "background_entries": n_bg,
                 "background_token_entries": len(self._background_tokens),
                 "design_entries": len(self._designs),

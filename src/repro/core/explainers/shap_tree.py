@@ -221,7 +221,28 @@ class TreeShapExplainer(Explainer):
         )
         if len(self.feature_names) != d:
             raise ValueError(f"{len(self.feature_names)} names for {d} features")
-        self.expected_value_ = self._base_offset + sum(
+        self.expected_value_ = self._expected_value(model)
+
+    def _expected_value(self, model) -> float:
+        """The ensemble's base value (coverage-weighted mean output).
+
+        Models wired to the packed inference engine expose their flat
+        node arrays, so the background summary is one vectorized level
+        walk over all trees (:meth:`PackedEnsemble.expected_value`)
+        instead of a Python stack per tree — the construction-time
+        cost that streaming refits re-pay every window.  Models
+        without a packed form fall back to the per-tree
+        :func:`tree_expected_value` sum.
+        """
+        packed_fn = getattr(model, "packed_ensemble", None)
+        if callable(packed_fn):
+            packed = packed_fn()
+            column = self.class_index if packed.outputs_are_classes else 0
+            if 0 <= column < packed.n_outputs:
+                return float(packed.expected_value()[column])
+            # no tree ever saw this class: every component was skipped
+            return self._base_offset
+        return self._base_offset + sum(
             weight * tree_expected_value(tree, output)
             for tree, weight, output in self._components
         )

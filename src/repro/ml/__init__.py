@@ -19,6 +19,12 @@ with a compatible ``fit`` / ``predict`` / ``predict_proba`` API:
   :class:`~repro.ml.neighbors.KNeighborsRegressor`
 
 plus preprocessing (scalers, one-hot), metrics, and model selection.
+
+Tree-based models are evaluated by the packed inference engine
+(:class:`~repro.ml.packed.PackedEnsemble`): all trees are flattened
+into one contiguous node block and traversed in a single vectorized
+frontier loop, byte-identical to the per-tree reference loops but
+several times faster (see ``docs/performance.md``).
 """
 
 from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
@@ -28,6 +34,7 @@ from repro.ml.linear import LinearRegression, LogisticRegression, RidgeRegressio
 from repro.ml.mlp import MLPClassifier, MLPRegressor
 from repro.ml.naive_bayes import GaussianNB
 from repro.ml.neighbors import KNeighborsClassifier, KNeighborsRegressor
+from repro.ml.packed import PackedEnsemble, PackedModelMixin
 from repro.ml.preprocessing import MinMaxScaler, OneHotEncoder, StandardScaler
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 
@@ -47,6 +54,8 @@ __all__ = [
     "MLPClassifier",
     "MLPRegressor",
     "OneHotEncoder",
+    "PackedEnsemble",
+    "PackedModelMixin",
     "RandomForestClassifier",
     "RandomForestRegressor",
     "RegressorMixin",

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
+from repro.ml.packed import PackedModelMixin
 from repro.ml.tree import DecisionTreeRegressor
 from repro.utils.rng import check_random_state, spawn_rngs
 from repro.utils.validation import check_array, check_fitted, check_X_y
@@ -31,7 +32,7 @@ def _sigmoid(z: np.ndarray) -> np.ndarray:
     return out
 
 
-class _BaseGradientBoosting(BaseEstimator):
+class _BaseGradientBoosting(PackedModelMixin, BaseEstimator):
     def __init__(
         self,
         n_estimators: int = 100,
@@ -73,19 +74,27 @@ class _BaseGradientBoosting(BaseEstimator):
         return rng.choice(n, size=size, replace=False)
 
     def _raw_predict(self, X: np.ndarray) -> np.ndarray:
-        out = np.full(len(X), self.init_prediction_)
-        for tree in self.estimators_:
-            out += self.learning_rate * tree.predict(X)
-        return out
+        """Additive margin via the packed ensemble engine
+        (byte-identical to the per-stage loop
+        ``init + sum(learning_rate * tree.predict(X))``)."""
+        return self.packed_ensemble().predict(X)[:, 0]
 
     def staged_raw_predict(self, X):
         """Yield raw predictions after each boosting stage (for tests
         of monotone training-loss decrease and early-stopping studies)."""
         check_fitted(self, "estimators_")
         X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, "
+                f"ensemble fitted on {self.n_features_in_}"
+            )
         out = np.full(len(X), self.init_prediction_)
         for tree in self.estimators_:
-            out = out + self.learning_rate * tree.predict(X)
+            # stage trees are read directly (X is validated once above);
+            # going through tree.predict would pack each stage tree for
+            # a single staged sweep
+            out = out + self.learning_rate * tree.tree_.predict_value(X)[:, 0]
             yield out.copy()
 
 
@@ -94,6 +103,7 @@ class GradientBoostingRegressor(_BaseGradientBoosting, RegressorMixin):
 
     def fit(self, X, y) -> "GradientBoostingRegressor":
         X, y = check_X_y(X, y, y_numeric=True)
+        self._invalidate_packed()
         rng = check_random_state(self.random_state)
         stage_rngs = spawn_rngs(rng, self.n_estimators)
         self.init_prediction_ = float(np.mean(y))
@@ -105,7 +115,9 @@ class GradientBoostingRegressor(_BaseGradientBoosting, RegressorMixin):
             residual = y - current
             tree = self._make_tree(stage_rng)
             tree.fit(X[rows], residual[rows])
-            current += self.learning_rate * tree.predict(X)
+            # read the tree directly: X was validated at fit entry, and
+            # tree.predict would build a throwaway per-stage packed form
+            current += self.learning_rate * tree.tree_.predict_value(X)[:, 0]
             self.estimators_.append(tree)
             self.train_score_.append(float(np.mean((y - current) ** 2)))
         self.n_features_in_ = X.shape[1]
@@ -132,6 +144,7 @@ class GradientBoostingClassifier(_BaseGradientBoosting, ClassifierMixin):
                 "GradientBoostingClassifier supports binary targets only; "
                 f"got {len(self.classes_)} classes"
             )
+        self._invalidate_packed()
         rng = check_random_state(self.random_state)
         stage_rngs = spawn_rngs(rng, self.n_estimators)
         target = codes.astype(float)
@@ -147,7 +160,7 @@ class GradientBoostingClassifier(_BaseGradientBoosting, ClassifierMixin):
             tree = self._make_tree(stage_rng)
             tree.fit(X[rows], residual[rows])
             self._newton_leaf_update(tree, X[rows], residual[rows], p[rows])
-            margin += self.learning_rate * tree.predict(X)
+            margin += self.learning_rate * tree.tree_.predict_value(X)[:, 0]
             self.estimators_.append(tree)
             p_now = _sigmoid(margin)
             loss = -np.mean(
@@ -166,6 +179,9 @@ class GradientBoostingClassifier(_BaseGradientBoosting, ClassifierMixin):
         for leaf in np.unique(leaves):
             rows = leaves == leaf
             tree.tree_.value[leaf, 0] = residual[rows].sum() / hess[rows].sum()
+        # leaf values changed in place: drop any packed snapshot so a
+        # later tree.predict cannot serve the pre-update values
+        tree._invalidate_packed()
 
     def decision_function(self, X) -> np.ndarray:
         """Additive log-odds margin (what TreeSHAP explains)."""

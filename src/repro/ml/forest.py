@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
+from repro.ml.packed import PackedModelMixin
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.utils.rng import check_random_state, spawn_rngs
 from repro.utils.validation import check_array, check_fitted, check_X_y
@@ -17,7 +18,7 @@ from repro.utils.validation import check_array, check_fitted, check_X_y
 __all__ = ["RandomForestClassifier", "RandomForestRegressor"]
 
 
-class _BaseForest(BaseEstimator):
+class _BaseForest(PackedModelMixin, BaseEstimator):
     def __init__(
         self,
         n_estimators: int = 100,
@@ -47,6 +48,7 @@ class _BaseForest(BaseEstimator):
         raise NotImplementedError
 
     def _fit_forest(self, X: np.ndarray, y: np.ndarray):
+        self._invalidate_packed()
         rng = check_random_state(self.random_state)
         tree_rngs = spawn_rngs(rng, self.n_estimators)
         n = len(X)
@@ -98,33 +100,40 @@ class RandomForestClassifier(_BaseForest, ClassifierMixin):
         """Per-tree probabilities re-aligned to the forest's class set.
 
         A bootstrap sample can miss a rare class entirely, so individual
-        trees may know fewer classes than the forest.
+        trees may know fewer classes than the forest.  The packed
+        inference engine bakes this realignment into its ``value`` rows
+        at pack time; this per-call version remains as the reference
+        implementation (the equivalence suite and bench E15 check the
+        packed path against it).
         """
         proba = np.zeros((len(X), len(self.classes_)))
-        tree_proba = tree.predict_proba(X)
+        tree_proba = tree.tree_.predict_value(X)
         for j, code in enumerate(tree.classes_):
             proba[:, int(code)] = tree_proba[:, j]
         return proba
 
     def predict_proba(self, X) -> np.ndarray:
-        """Mean of per-tree class probabilities, columns as ``classes_``."""
+        """Mean of per-tree class probabilities, columns as ``classes_``.
+
+        Evaluated by the packed ensemble engine (one fused traversal of
+        all trees); byte-identical to the per-tree reference loop.
+        """
         check_fitted(self, "estimators_")
         X = check_array(X, name="X")
-        out = np.zeros((len(X), len(self.classes_)))
-        for tree in self.estimators_:
-            out += self._tree_proba(tree, X)
-        return out / len(self.estimators_)
+        return self.packed_ensemble().predict(X)
 
     def predict(self, X) -> np.ndarray:
         return self._decode_labels(np.argmax(self.predict_proba(X), axis=1))
 
     def _compute_oob(self, X, codes) -> float:
+        packed = self.packed_ensemble()
+        leaves = packed.apply(X)
         votes = np.zeros((len(X), len(self.classes_)))
         counts = np.zeros(len(X))
-        for tree, mask in zip(self.estimators_, self._oob_masks):
+        for t, mask in enumerate(self._oob_masks):
             if not np.any(mask):
                 continue
-            votes[mask] += self._tree_proba(tree, X[mask])
+            votes[mask] += packed.value[leaves[mask, t]]
             counts[mask] += 1
         covered = counts > 0
         if not np.any(covered):
@@ -175,20 +184,21 @@ class RandomForestRegressor(_BaseForest, RegressorMixin):
         )
 
     def predict(self, X) -> np.ndarray:
+        """Mean of per-tree predictions, evaluated by the packed
+        ensemble engine (byte-identical to the per-tree loop)."""
         check_fitted(self, "estimators_")
         X = check_array(X, name="X")
-        out = np.zeros(len(X))
-        for tree in self.estimators_:
-            out += tree.predict(X)
-        return out / len(self.estimators_)
+        return self.packed_ensemble().predict(X)[:, 0]
 
     def _compute_oob(self, X, y) -> float:
+        packed = self.packed_ensemble()
+        leaves = packed.apply(X)
         sums = np.zeros(len(X))
         counts = np.zeros(len(X))
-        for tree, mask in zip(self.estimators_, self._oob_masks):
+        for t, mask in enumerate(self._oob_masks):
             if not np.any(mask):
                 continue
-            sums[mask] += tree.predict(X[mask])
+            sums[mask] += packed.value[leaves[mask, t], 0]
             counts[mask] += 1
         covered = counts > 0
         if not np.any(covered):

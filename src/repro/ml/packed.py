@@ -1,0 +1,526 @@
+"""Packed ensemble inference: fused evaluation of many CART trees.
+
+Every tree-based model in this library stores its fitted trees as flat
+:class:`~repro.ml.tree.TreeStructure` arrays, but evaluation loops over
+the estimators in Python: a 100-tree forest pays 100 separate
+vectorized descents plus, for classifiers, 100 per-tree
+class-realignment allocations (``_tree_proba``).  Under the explainers
+— KernelSHAP's stacked masked-background calls, SamplingSHAP's
+permutation sweeps, faithfulness deletion curves — the model is the
+hot layer, so that per-tree Python loop is the single largest cost in
+the whole pipeline (bench E2b: batching wins 14x on a logistic model
+but ~1x on the forest, because the forest call itself dominates).
+
+:class:`PackedEnsemble` removes the per-tree loop.  At pack time all
+trees are flattened into one contiguous node block:
+
+* ``children_left`` / ``children_right`` / ``feature`` / ``threshold``
+  are concatenated with per-tree root offsets, so a node id addresses
+  the whole forest;
+* ``value`` rows are **pre-realigned to the ensemble's class set** —
+  a bootstrap tree that never saw a rare class gets zero columns for
+  it — which deletes the per-call ``_tree_proba`` allocation;
+* trees are ordered by decreasing depth (``tree_order`` maps packed
+  position back to estimator order), so at traversal depth ``L`` the
+  still-active trees are a contiguous prefix of the node state.
+
+Evaluation then runs a single vectorized frontier loop over all
+``(row, tree)`` pairs: one Python iteration per *depth level* in
+total, instead of one traversal loop per tree.  Two phases keep the
+element work near-minimal:
+
+* a **dense** phase steps every active pair in lock-step through a
+  self-loop step table (leaves point at themselves), slicing off whole
+  trees as the depth bound of each is reached — zero bookkeeping per
+  level beyond shrinking the prefix;
+* once the training-coverage estimate says most pairs have already
+  reached a leaf (< ``_SPARSE_SWITCH_FRACTION`` still active), a
+  **sparse** phase switches to explicit active-pair compaction so deep
+  stragglers do not drag every pair along.
+
+Aggregation gathers per-tree leaf values and accumulates them in the
+original estimator order with the exact arithmetic of the legacy
+loops (sequential sums, division by the tree count at the end, or
+``base + learning_rate * value`` per stage), so packed outputs are
+**byte-identical** to the per-tree implementations — the property the
+equivalence suite (tests/ml/test_packed.py) and bench E15 assert
+unconditionally.
+
+Models build the packed form lazily: :class:`PackedModelMixin` gives
+every tree-based estimator a memoized :meth:`~PackedModelMixin.
+packed_ensemble` built on first use after ``fit`` and dropped on
+pickling (a process-backend shard ships only the fitted trees and
+re-packs on first predict).  The packed form is a *snapshot* — code
+that mutates ``tree_.value`` in place after a predict must call
+``_invalidate_packed()`` (refitting does this automatically).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PackedEnsemble", "PackedModelMixin"]
+
+_LEAF = -1
+
+#: (row, tree) pairs traversed per block.  Blocks keep the node-state
+#: working set inside cache: the sweet spot measured on the reference
+#: forest (60 trees, depth 10) is a few hundred rows per block, and the
+#: pair budget scales that inversely with the tree count.
+_PAIR_BUDGET = 16384
+
+#: Switch from the dense lock-step phase to sparse active-pair
+#: compaction once the training-coverage estimate says fewer than this
+#: fraction of pairs are still descending.  Below it, compaction
+#: overhead beats dragging every finished pair through more levels.
+_SPARSE_SWITCH_FRACTION = 0.4
+
+
+def _as_codes(classes: np.ndarray) -> np.ndarray:
+    """Integer class codes of an ensemble member (trees inside forests
+    are fit on the forest's integer codes, so their ``classes_`` are a
+    subset of ``0..n_classes-1``)."""
+    return np.asarray(classes).astype(np.int64)
+
+
+class PackedEnsemble:
+    """All trees of one fitted model, flattened for fused evaluation.
+
+    Build with :meth:`from_model` (or transparently via
+    ``model.packed_ensemble()``).  The public arrays are concatenated
+    in *packed order* — trees sorted by decreasing depth; use
+    :attr:`tree_order` to map packed position to estimator index.
+
+    Attributes
+    ----------
+    n_trees, n_nodes, n_features, n_outputs:
+        Ensemble dimensions.  ``n_outputs`` is the ensemble's class
+        count for probability models, 1 for regression/margin models.
+    children_left, children_right:
+        Global child node ids per node; ``-1`` marks a leaf.
+    feature, threshold, value, n_node_samples:
+        Per-node split data.  ``value`` rows are pre-realigned to the
+        ensemble class set (columns = class codes).
+    roots:
+        Root node id of each packed tree.
+    tree_order:
+        ``tree_order[p]`` is the estimator index of packed tree ``p``.
+    tree_depths:
+        Max depth of each packed tree (non-increasing).
+    max_depth:
+        Deepest tree's depth — the frontier bound of the traversal.
+    node_depth:
+        Depth of every node in its tree (roots at 0).
+    mode:
+        ``"mean"`` (forests, single trees) or ``"scaled_sum"``
+        (boosting: ``base_offset + scale * sum(tree values)``).
+    outputs_are_classes:
+        Whether ``value`` columns are class probabilities (drives which
+        column a ``class_index`` selects downstream).
+    """
+
+    def __init__(
+        self,
+        trees,
+        values,
+        *,
+        n_features: int,
+        mode: str = "mean",
+        scale: float = 1.0,
+        base_offset: float = 0.0,
+        outputs_are_classes: bool = False,
+    ):
+        if mode not in ("mean", "scaled_sum"):
+            raise ValueError(f"unknown aggregation mode {mode!r}")
+        trees = list(trees)
+        values = [np.atleast_2d(np.asarray(v, dtype=float)) for v in values]
+        if not trees:
+            raise ValueError("cannot pack an ensemble with zero trees")
+        if len(values) != len(trees):
+            raise ValueError(
+                f"{len(values)} value blocks for {len(trees)} trees"
+            )
+        widths = {v.shape[1] for v in values}
+        if len(widths) != 1:
+            raise ValueError(f"inconsistent value widths: {sorted(widths)}")
+
+        self.n_trees = len(trees)
+        self.n_features = int(n_features)
+        self.mode = mode
+        self.scale = float(scale)
+        self.base_offset = float(base_offset)
+        self.outputs_are_classes = bool(outputs_are_classes)
+
+        depths = np.array([t.max_depth for t in trees], dtype=np.int64)
+        # deepest first: the traversal's active trees stay a prefix
+        self.tree_order = np.argsort(-depths, kind="stable")
+        ordered = [trees[i] for i in self.tree_order]
+        self.tree_depths = depths[self.tree_order]
+        self.max_depth = int(self.tree_depths[0]) if self.n_trees else 0
+
+        sizes = np.array([t.n_nodes for t in ordered], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        self.n_nodes = int(offsets[-1])
+        self.roots = offsets[:-1].copy()
+        self._offsets = offsets
+
+        self.children_left = np.concatenate(
+            [np.where(t.children_left == _LEAF, _LEAF, t.children_left + o)
+             for t, o in zip(ordered, offsets)]
+        )
+        self.children_right = np.concatenate(
+            [np.where(t.children_right == _LEAF, _LEAF, t.children_right + o)
+             for t, o in zip(ordered, offsets)]
+        )
+        self.feature = np.concatenate([t.feature for t in ordered])
+        self.threshold = np.concatenate([t.threshold for t in ordered])
+        self.n_node_samples = np.concatenate(
+            [t.n_node_samples for t in ordered]
+        )
+        self.value = np.concatenate(
+            [values[i] for i in self.tree_order], axis=0
+        )
+        self.n_outputs = self.value.shape[1]
+        self._is_leaf = self.children_left == _LEAF
+
+        # self-loop step table: leaves point at themselves behind an
+        # always-true comparison (x <= +inf against feature 0), so the
+        # dense phase needs no per-pair liveness bookkeeping at all
+        step_left = np.where(
+            self._is_leaf, np.arange(self.n_nodes), self.children_left
+        )
+        step_right = np.where(
+            self._is_leaf, np.arange(self.n_nodes), self.children_right
+        )
+        self._feature_step = np.where(self._is_leaf, 0, self.feature)
+        self._threshold_step = np.where(self._is_leaf, np.inf, self.threshold)
+        # interleaved children: next node = _children_step[2*node + go_left]
+        self._children_step = np.empty(2 * self.n_nodes, dtype=np.int64)
+        self._children_step[0::2] = step_right
+        self._children_step[1::2] = step_left
+
+        self.node_depth = self._walk_depths()
+        self._active_trees = np.array(
+            [int(np.count_nonzero(self.tree_depths > level))
+             for level in range(self.max_depth)],
+            dtype=np.int64,
+        )
+        self._switch_level = self._coverage_switch_level()
+        self._inverse_order = np.empty(self.n_trees, dtype=np.int64)
+        self._inverse_order[self.tree_order] = np.arange(self.n_trees)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model) -> "PackedEnsemble":
+        """Pack any of this library's fitted tree-based models.
+
+        Supported: ``DecisionTreeClassifier`` / ``Regressor``,
+        ``RandomForestClassifier`` / ``Regressor``,
+        ``GradientBoostingClassifier`` / ``Regressor`` (duck-typed on
+        their fitted attributes, so there is no import cycle with the
+        model modules).
+        """
+        n_features = getattr(model, "n_features_in_", None)
+        if getattr(model, "tree_", None) is not None:
+            # standalone decision tree: values are already aligned
+            # (classifier columns are indexed by class code)
+            tree = model.tree_
+            return cls(
+                [tree],
+                [tree.value],
+                n_features=n_features,
+                mode="mean",
+                outputs_are_classes=hasattr(model, "classes_"),
+            )
+        estimators = getattr(model, "estimators_", None)
+        if estimators is None:
+            raise TypeError(
+                "PackedEnsemble supports this library's fitted decision "
+                "trees, random forests and gradient boosting; got "
+                f"{type(model).__name__}"
+            )
+        if getattr(model, "init_prediction_", None) is not None:
+            # gradient boosting: regression trees under an additive
+            # margin — base_offset + learning_rate * sum(tree values)
+            return cls(
+                [t.tree_ for t in estimators],
+                [t.tree_.value for t in estimators],
+                n_features=n_features,
+                mode="scaled_sum",
+                scale=model.learning_rate,
+                base_offset=model.init_prediction_,
+            )
+        if hasattr(model, "classes_"):
+            # forest classifier: realign every tree's value columns to
+            # the forest class set once, at pack time (a bootstrap may
+            # have missed a rare class entirely)
+            n_classes = len(model.classes_)
+            values = []
+            for est in estimators:
+                tree = est.tree_
+                aligned = np.zeros((tree.n_nodes, n_classes))
+                aligned[:, _as_codes(est.classes_)] = tree.value
+                values.append(aligned)
+            return cls(
+                [t.tree_ for t in estimators],
+                values,
+                n_features=n_features,
+                mode="mean",
+                outputs_are_classes=True,
+            )
+        return cls(
+            [t.tree_ for t in estimators],
+            [t.tree_.value for t in estimators],
+            n_features=n_features,
+            mode="mean",
+        )
+
+    def _walk_depths(self) -> np.ndarray:
+        """Per-node depth via one vectorized level walk over all trees."""
+        depth = np.zeros(self.n_nodes, dtype=np.int64)
+        frontier = self.roots[~self._is_leaf[self.roots]]
+        level = 0
+        while frontier.size:
+            level += 1
+            children = np.concatenate(
+                (self.children_left[frontier], self.children_right[frontier])
+            )
+            depth[children] = level
+            frontier = children[~self._is_leaf[children]]
+        return depth
+
+    def _coverage_switch_level(self) -> int:
+        """First depth level where the training-coverage estimate of
+        still-active pairs drops below ``_SPARSE_SWITCH_FRACTION``."""
+        if self.max_depth == 0:
+            return 0
+        total = float(self.n_node_samples[self.roots].sum())
+        leaf_mass = np.bincount(
+            self.node_depth[self._is_leaf],
+            weights=self.n_node_samples[self._is_leaf],
+            minlength=self.max_depth + 1,
+        ).cumsum()
+        active_fraction = 1.0 - leaf_mass / total
+        sparse = np.flatnonzero(active_fraction < _SPARSE_SWITCH_FRACTION)
+        return int(sparse[0]) if sparse.size else self.max_depth
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def _check_X(self, X) -> np.ndarray:
+        X = np.ascontiguousarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[1] != self.n_features:
+            raise ValueError(
+                f"X has {X.shape[1]} features, "
+                f"ensemble fitted on {self.n_features}"
+            )
+        return X
+
+    def _block_rows(self) -> int:
+        return max(1, _PAIR_BUDGET // self.n_trees)
+
+    def _apply_block(self, Xb: np.ndarray, scratch) -> np.ndarray:
+        """Leaf node id per (tree, row) of one row block.
+
+        Returns a ``(n_trees, len(Xb))`` view into ``scratch`` in
+        *packed* tree order — consume it before the next block.
+        """
+        nb, d = Xb.shape
+        m = self.n_trees * nb
+        nodes, nxt, feat, th, xv, go = (buf[:m] for buf in scratch)
+        nodes.reshape(self.n_trees, nb)[:] = self.roots[:, None]
+        rowoff = np.tile(np.arange(nb, dtype=np.int64) * d, self.n_trees)
+        xflat = Xb.ravel()
+
+        # dense lock-step phase: every still-active tree is a prefix of
+        # the tree-major state (trees are depth-sorted), so one level
+        # costs a handful of flat gathers and no liveness bookkeeping
+        level = 0
+        dense_limit = min(self._switch_level, self.max_depth)
+        while level < dense_limit:
+            k = self._active_trees[level] * nb
+            nd = nodes[:k]
+            np.take(self._feature_step, nd, out=feat[:k])
+            np.take(self._threshold_step, nd, out=th[:k])
+            feat[:k] += rowoff[:k]
+            np.take(xflat, feat[:k], out=xv[:k])
+            np.less_equal(xv[:k], th[:k], out=go[:k])
+            np.left_shift(nd, 1, out=nd)
+            np.add(nd, go[:k], out=nd)
+            np.take(self._children_step, nd, out=nxt[:k])
+            np.copyto(nd, nxt[:k])
+            level += 1
+
+        # sparse phase: compact to the pairs still descending so deep
+        # stragglers do not drag every finished pair along
+        if level < self.max_depth:
+            k = self._active_trees[level] * nb
+            live = nodes[:k]
+            idx = np.flatnonzero(~self._is_leaf[live])
+            while idx.size:
+                cur = live[idx]
+                left = xflat[self.feature[cur] + rowoff[idx]] <= (
+                    self.threshold[cur]
+                )
+                after = self._children_step[(cur << 1) + left]
+                live[idx] = after
+                idx = idx[~self._is_leaf[after]]
+
+        return nodes.reshape(self.n_trees, nb)
+
+    def _scratch(self, block_rows: int):
+        m = block_rows * self.n_trees
+        return (
+            np.empty(m, dtype=np.int64),  # nodes
+            np.empty(m, dtype=np.int64),  # next nodes
+            np.empty(m, dtype=np.int64),  # feature / flat X index
+            np.empty(m, dtype=float),     # thresholds
+            np.empty(m, dtype=float),     # gathered X values
+            np.empty(m, dtype=bool),      # go-left mask
+        )
+
+    def apply(self, X) -> np.ndarray:
+        """Leaf node id reached by each row in each tree.
+
+        Returns an ``(n_rows, n_trees)`` array with columns in the
+        **original estimator order** (index it with the estimator
+        position, not the packed position).
+        """
+        X = self._check_X(X)
+        n = len(X)
+        block = self._block_rows()
+        scratch = self._scratch(min(block, max(n, 1)))
+        out = np.empty((n, self.n_trees), dtype=np.int64)
+        for start in range(0, n, block):
+            stop = min(n, start + block)
+            leaves = self._apply_block(X[start:stop], scratch)
+            out[start:stop] = leaves[self._inverse_order].T
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        """Aggregated ensemble output, shape ``(n_rows, n_outputs)``.
+
+        Byte-identical to the legacy per-tree loops: per-tree leaf
+        values are accumulated sequentially in estimator order, then
+        scaled exactly as the legacy code does (``/ n_trees`` for
+        ``"mean"``, ``base + scale * value`` per tree for
+        ``"scaled_sum"``).
+        """
+        X = self._check_X(X)
+        n = len(X)
+        block = self._block_rows()
+        scratch = self._scratch(min(block, max(n, 1)))
+        if self.mode == "mean":
+            out = np.zeros((n, self.n_outputs))
+        else:
+            out = np.full((n, self.n_outputs), self.base_offset)
+        for start in range(0, n, block):
+            stop = min(n, start + block)
+            leaves = self._apply_block(X[start:stop], scratch)
+            ob = out[start:stop]
+            if self.mode == "mean" and self.n_trees == 1:
+                # a single tree returns its raw leaf values (the legacy
+                # DecisionTree path has no accumulator at all)
+                ob[:] = self.value[leaves[0]]
+            elif self.mode == "mean":
+                for position in self._inverse_order:
+                    ob += self.value[leaves[position]]
+            else:
+                for position in self._inverse_order:
+                    ob += self.scale * self.value[leaves[position]]
+        if self.mode == "mean" and self.n_trees > 1:
+            out /= self.n_trees
+        return out
+
+    # ------------------------------------------------------------------
+    # background summaries (TreeSHAP's expected-value pass)
+    # ------------------------------------------------------------------
+    def node_weights(self) -> np.ndarray:
+        """Coverage weight of every node: the fraction of feature-absent
+        descent paths that flow through it (roots at 1.0), computed with
+        one vectorized level walk — the quantity
+        :func:`repro.core.explainers.shap_tree.tree_expected_value`
+        derives per tree with a Python stack."""
+        weights = np.zeros(self.n_nodes)
+        weights[self.roots] = 1.0
+        frontier = self.roots[~self._is_leaf[self.roots]]
+        while frontier.size:
+            left = self.children_left[frontier]
+            right = self.children_right[frontier]
+            mass = self.n_node_samples[frontier]
+            weights[left] = (
+                weights[frontier] * self.n_node_samples[left] / mass
+            )
+            weights[right] = (
+                weights[frontier] * self.n_node_samples[right] / mass
+            )
+            children = np.concatenate((left, right))
+            frontier = children[~self._is_leaf[children]]
+        return weights
+
+    def expected_values(self) -> np.ndarray:
+        """Per-tree coverage-weighted mean leaf value, shape
+        ``(n_trees, n_outputs)`` in **estimator order**."""
+        leaf_weight = np.where(self._is_leaf, self.node_weights(), 0.0)
+        per_tree = np.add.reduceat(
+            leaf_weight[:, None] * self.value, self._offsets[:-1], axis=0
+        )
+        return per_tree[self._inverse_order]
+
+    def expected_value(self) -> np.ndarray:
+        """Aggregated ensemble base value, shape ``(n_outputs,)`` —
+        accumulated tree by tree exactly like :meth:`predict`."""
+        per_tree = self.expected_values()
+        if self.mode == "mean":
+            if self.n_trees == 1:
+                return per_tree[0]
+            total = np.zeros(self.n_outputs)
+            for row in per_tree:
+                total += row
+            return total / self.n_trees
+        total = np.full(self.n_outputs, self.base_offset)
+        for row in per_tree:
+            total += self.scale * row
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"PackedEnsemble(n_trees={self.n_trees}, n_nodes={self.n_nodes}, "
+            f"n_outputs={self.n_outputs}, max_depth={self.max_depth}, "
+            f"mode={self.mode!r})"
+        )
+
+
+class PackedModelMixin:
+    """Lazy, memoized access to a model's :class:`PackedEnsemble`.
+
+    ``fit`` implementations call :meth:`_invalidate_packed` before
+    training; the packed form is then rebuilt on the first prediction.
+    Pickling drops the packed form (``__getstate__``), so process-pool
+    shards ship only the fitted trees and re-pack on first use — the
+    pack cost is a few milliseconds, the pickle savings are not.
+
+    The build is idempotent, so concurrent first predictions from the
+    thread backend at worst pack twice and keep either copy.
+    """
+
+    def packed_ensemble(self) -> PackedEnsemble:
+        """The memoized packed form of this fitted model."""
+        packed = getattr(self, "_packed", None)
+        if packed is None:
+            packed = PackedEnsemble.from_model(self)
+            self._packed = packed
+        return packed
+
+    def _invalidate_packed(self) -> None:
+        """Drop the packed snapshot (call after mutating fitted trees)."""
+        self._packed = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_packed", None)
+        return state

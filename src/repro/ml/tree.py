@@ -11,10 +11,12 @@ Split rule: a sample goes **left** when ``x[feature] <= threshold``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
 from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
+from repro.ml.packed import PackedModelMixin
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_array, check_fitted, check_X_y
 
@@ -60,17 +62,29 @@ class TreeStructure:
     def is_leaf(self, node: int) -> bool:
         return self.children_left[node] == LEAF
 
-    @property
+    @cached_property
     def max_depth(self) -> int:
-        """Depth of the deepest leaf (root = depth 0)."""
-        depth = np.zeros(self.n_nodes, dtype=int)
-        out = 0
-        for node in range(self.n_nodes):
-            if not self.is_leaf(node):
-                for child in (self.children_left[node], self.children_right[node]):
-                    depth[child] = depth[node] + 1
-                    out = max(out, depth[child])
-        return out
+        """Depth of the deepest leaf (root = depth 0).
+
+        Computed once with a vectorized level walk (one iteration per
+        depth level, not per node) and cached — the packed inference
+        engine reads it as its frontier bound on every evaluation.  The
+        cache is safe because node *topology* is never mutated after
+        ``fit`` (leaf values may be, e.g. by boosting's Newton update,
+        which does not change depths).
+        """
+        if self.n_nodes == 0:
+            return 0
+        depth = 0
+        frontier = np.array([0], dtype=np.int64)
+        frontier = frontier[self.children_left[frontier] != LEAF]
+        while frontier.size:
+            depth += 1
+            frontier = np.concatenate(
+                (self.children_left[frontier], self.children_right[frontier])
+            )
+            frontier = frontier[self.children_left[frontier] != LEAF]
+        return depth
 
     def apply(self, X: np.ndarray) -> np.ndarray:
         """Leaf index reached by each row of ``X`` (vectorized descent)."""
@@ -309,7 +323,7 @@ def _compute_feature_importances(tree: TreeStructure, n_features: int) -> np.nda
     return importances / s if s > 0 else importances
 
 
-class _BaseDecisionTree(BaseEstimator):
+class _BaseDecisionTree(PackedModelMixin, BaseEstimator):
     def __init__(
         self,
         max_depth=None,
@@ -332,6 +346,7 @@ class _BaseDecisionTree(BaseEstimator):
         self.tree_: TreeStructure | None = None
 
     def _fit_tree(self, X, y, *, is_classifier: bool, n_classes: int):
+        self._invalidate_packed()
         builder = _TreeBuilder(
             is_classifier=is_classifier,
             n_classes=n_classes,
@@ -381,7 +396,7 @@ class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
             raise ValueError(
                 f"X has {X.shape[1]} features, tree fitted on {self.n_features_in_}"
             )
-        return self.tree_.predict_value(X)
+        return self.packed_ensemble().predict(X)
 
     def predict(self, X) -> np.ndarray:
         return self._decode_labels(np.argmax(self.predict_proba(X), axis=1))
@@ -402,4 +417,4 @@ class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
             raise ValueError(
                 f"X has {X.shape[1]} features, tree fitted on {self.n_features_in_}"
             )
-        return self.tree_.predict_value(X)[:, 0]
+        return self.packed_ensemble().predict(X)[:, 0]

@@ -245,6 +245,7 @@ class TestCoalitionDesignCache:
         assert stats == {
             "hits": 0,
             "misses": 0,
+            "evictions": 0,
             "background_entries": 0,
             "background_token_entries": 0,
             "design_entries": 0,
@@ -253,6 +254,81 @@ class TestCoalitionDesignCache:
     def test_invalid_sizes_rejected(self):
         with pytest.raises(ValueError, match=">= 1"):
             ExplainerCache(max_backgrounds=0)
+        with pytest.raises(ValueError, match=">= 1"):
+            ExplainerCache(max_total_entries=0)
+
+
+class TestGlobalEntryBound:
+    """ISSUE 5 satellite: a ``max_total_entries`` LRU bounds the
+    identity tier across *all* predict functions, so long streaming
+    sessions (fresh predict function per refit window, explainers kept
+    alive in a sliding history) cannot grow the cache without limit.
+    Eviction must only ever force recomputes, never change values."""
+
+    @staticmethod
+    def _fill(cache, n_fns):
+        fns = [CountingModel() for _ in range(n_fns)]
+        bg = np.arange(8.0).reshape(4, 2)
+        results = [cache.background_predictions(fn, bg) for fn in fns]
+        return fns, bg, results
+
+    def test_total_entries_bounded(self):
+        cache = ExplainerCache(max_total_entries=3)
+        fns, _, _ = self._fill(cache, 7)
+        assert cache.stats()["background_entries"] == 3
+        assert cache.stats()["evictions"] == 4
+
+    def test_evicted_entry_recomputed_correctly(self):
+        cache = ExplainerCache(max_total_entries=2)
+        fns, bg, results = self._fill(cache, 4)
+        # fns[0] was evicted: a fresh request recomputes — a full sweep,
+        # not the 3-row probe of a hit — and returns correct values
+        calls_before = fns[0].calls
+        again = cache.background_predictions(fns[0], bg)
+        assert fns[0].calls == calls_before + 1
+        np.testing.assert_array_equal(again, results[0])
+        # fns[3] is still resident: a probe-validated hit
+        hits_before = cache.stats()["hits"]
+        np.testing.assert_array_equal(
+            cache.background_predictions(fns[3], bg), results[3]
+        )
+        assert cache.stats()["hits"] == hits_before + 1
+
+    def test_recent_use_protects_from_eviction(self):
+        cache = ExplainerCache(max_total_entries=2)
+        fns, bg, _ = self._fill(cache, 2)
+        # touch the older entry, then insert a third: the *untouched*
+        # middle entry must be the one evicted
+        cache.background_predictions(fns[0], bg)
+        extra = CountingModel()
+        cache.background_predictions(extra, bg)
+        hits_before = cache.stats()["hits"]
+        cache.background_predictions(fns[0], bg)  # hit: survived
+        assert cache.stats()["hits"] == hits_before + 1
+        calls_before = fns[1].calls
+        cache.background_predictions(fns[1], bg)  # miss: was evicted
+        assert fns[1].calls == calls_before + 1
+
+    def test_dead_functions_do_not_crowd_out_live_entries(self):
+        cache = ExplainerCache(max_total_entries=4)
+        bg = np.arange(8.0).reshape(4, 2)
+        for _ in range(6):  # inserted then garbage-collected
+            cache.background_predictions(CountingModel(), bg)
+        survivor = CountingModel()
+        cache.background_predictions(survivor, bg)
+        for _ in range(3):  # age the stale order entries out
+            cache.background_predictions(CountingModel(), bg)
+        hits_before = cache.stats()["hits"]
+        cache.background_predictions(survivor, bg)
+        assert cache.stats()["hits"] == hits_before + 1
+
+    def test_per_fn_eviction_keeps_order_in_sync(self):
+        cache = ExplainerCache(max_backgrounds=2, max_total_entries=8)
+        fn = CountingModel()
+        for scale in (1.0, 2.0, 3.0):  # per-fn LRU evicts scale=1.0
+            cache.background_predictions(fn, np.full((4, 2), scale))
+        assert cache.stats()["background_entries"] == 2
+        assert len(cache._bg_order) == 2
 
 
 class TestCachedExplainerCorrectness:

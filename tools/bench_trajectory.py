@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Record the repo's headline performance numbers as machine-readable
+``BENCH_<pr>.json`` files, so the perf trajectory is tracked across
+PRs instead of living only in prose and benchmark stdout.
+
+Each run measures the packed-vs-legacy A/B panel that PR 5 introduced
+(forest ``predict_proba``, boosting margin, KernelSHAP-over-forest
+batch explanation) with best-of-N wall clocks, asserts exact output
+equality, and writes one JSON document::
+
+    PYTHONPATH=src python tools/bench_trajectory.py --pr 5
+
+appends nothing and overwrites ``BENCH_5.json`` deterministically
+(modulo timings).  Future PRs record ``BENCH_6.json`` and so on; the
+accumulated files are the trajectory::
+
+    PYTHONPATH=src python tools/bench_trajectory.py --show
+
+prints every ``BENCH_*.json`` found in the repo root as a table.
+
+Timings are environment-dependent (CI containers differ from the
+authoring machine); the JSON therefore records the environment next
+to the numbers, and *equality* is the only hard claim a reader should
+carry across files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import platform
+import sys
+from datetime import datetime, timezone
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, REPO_ROOT)
+
+import numpy as np  # noqa: E402  (path set up first)
+
+# the legacy reference loops and the timing primitive are defined once,
+# in bench E15 and benchmarks/_util — the tool and the bench must
+# measure the identical baseline with the identical clock
+from benchmarks._util import timed  # noqa: E402
+from benchmarks.bench_e6_inference import (  # noqa: E402
+    legacy_boosting_raw as _legacy_boosting_raw,
+    legacy_forest_proba as _legacy_forest_proba,
+)
+from repro.core.cache import clear_cache  # noqa: E402
+from repro.core.explainers import (  # noqa: E402
+    KernelShapExplainer,
+    model_output_fn,
+)
+from repro.datasets import make_sla_violation_dataset  # noqa: E402
+from repro.ml import (  # noqa: E402
+    GradientBoostingClassifier,
+    RandomForestClassifier,
+)
+from repro.ml.model_selection import train_test_split  # noqa: E402
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        result, elapsed = timed(fn)
+        best = min(best, elapsed)
+    return result, best
+
+
+def _ab(name, packed_fn, legacy_fn, *, repeats, equal_fn=np.array_equal, **extra):
+    packed_out, packed_s = _best_of(packed_fn, repeats)
+    legacy_out, legacy_s = _best_of(legacy_fn, repeats)
+    equal = bool(equal_fn(packed_out, legacy_out))
+    if not equal:
+        raise AssertionError(f"{name}: packed output != legacy output")
+    return {
+        "name": name,
+        "legacy_seconds": round(legacy_s, 6),
+        "packed_seconds": round(packed_s, 6),
+        "speedup": round(legacy_s / packed_s, 3),
+        "exact_equal": equal,
+        **extra,
+    }
+
+
+def measure(rows: int, kernel_rows: int, repeats: int) -> list[dict]:
+    dataset = make_sla_violation_dataset(
+        n_epochs=4000, horizon=1, random_state=2020
+    )
+    X_train, X_test, y_train, _ = train_test_split(
+        dataset.X.values, dataset.y, test_size=0.3,
+        random_state=0, stratify=dataset.y,
+    )
+    gen = np.random.default_rng(0)
+    fleet = np.ascontiguousarray(
+        X_train[gen.integers(0, len(X_train), size=rows)]
+    )
+
+    forest = RandomForestClassifier(
+        n_estimators=60, max_depth=10, random_state=0
+    ).fit(X_train, y_train)
+    _, pack_seconds = _best_of(
+        lambda: (forest._invalidate_packed(), forest.packed_ensemble())[1],
+        repeats,
+    )
+    results = [
+        {
+            "name": "packed_build",
+            "packed_seconds": round(pack_seconds, 6),
+            "n_trees": forest.n_estimators,
+        },
+        _ab(
+            "forest_predict_proba",
+            lambda: forest.predict_proba(fleet),
+            lambda: _legacy_forest_proba(forest, fleet),
+            repeats=repeats,
+            rows=rows,
+        ),
+    ]
+
+    boosting = GradientBoostingClassifier(
+        n_estimators=100, max_depth=3, random_state=0
+    ).fit(X_train, y_train)
+    boosting.packed_ensemble()
+    results.append(
+        _ab(
+            "boosting_margin",
+            lambda: boosting.decision_function(fleet),
+            lambda: _legacy_boosting_raw(boosting, fleet),
+            repeats=repeats,
+            rows=rows,
+        )
+    )
+
+    import types
+
+    legacy_forest = RandomForestClassifier(
+        n_estimators=60, max_depth=10, random_state=0
+    ).fit(X_train, y_train)
+    legacy_forest.predict_proba = types.MethodType(
+        _legacy_forest_proba, legacy_forest
+    )
+    names = dataset.feature_names
+    background = X_train[:60]
+    explained = X_test[:kernel_rows]
+
+    def kernel_batch(model):
+        clear_cache()
+        explainer = KernelShapExplainer(
+            model_output_fn(model), background, names,
+            n_samples=256, random_state=0,
+        )
+        return explainer.explain_batch(explained).values
+
+    results.append(
+        _ab(
+            "kernel_shap_batch_forest",
+            lambda: kernel_batch(forest),
+            lambda: kernel_batch(legacy_forest),
+            repeats=1,  # the explain loop is slow and internally stable
+            rows=kernel_rows,
+            n_samples=256,
+        )
+    )
+    return results
+
+
+def _bench_files() -> list[str]:
+    """``BENCH_<n>.json`` files in PR order (numeric, not lexicographic,
+    so BENCH_12 sorts after BENCH_5)."""
+    paths = glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))
+    return sorted(paths, key=lambda p: _pr_of(p))
+
+
+def _pr_of(path: str) -> int:
+    stem = os.path.basename(path)[len("BENCH_"):-len(".json")]
+    try:
+        return int(stem)
+    except ValueError:
+        return -1
+
+
+def show_trajectory() -> int:
+    paths = _bench_files()
+    if not paths:
+        print("no BENCH_*.json files found")
+        return 1
+    print(f"{'file':<14} {'pr':>3}  {'benchmark':<26} {'speedup':>8} {'packed':>9}")
+    print("-" * 66)
+    for path in paths:
+        with open(path) as fh:
+            doc = json.load(fh)
+        for row in doc.get("results", []):
+            speedup = row.get("speedup")
+            print(
+                f"{os.path.basename(path):<14} {doc.get('pr', '?'):>3}  "
+                f"{row['name']:<26} "
+                f"{'' if speedup is None else f'{speedup:.2f}x':>8} "
+                f"{row['packed_seconds']:>8.3f}s"
+            )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="record packed-vs-legacy inference benchmarks as JSON"
+    )
+    parser.add_argument(
+        "--pr", type=int, default=None,
+        help="PR number to tag (default: the highest existing "
+             "BENCH_<n>.json, so CI re-measures the latest panel "
+             "without hardcoding a number)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output path (default: <repo>/BENCH_<pr>.json)",
+    )
+    parser.add_argument("--rows", type=int, default=8192)
+    parser.add_argument(
+        "--kernel-rows", type=int, default=16,
+        help="explained instances in the KernelSHAP end-to-end panel",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--show", action="store_true",
+        help="print the trajectory from existing BENCH_*.json files",
+    )
+    args = parser.parse_args(argv)
+    if args.show:
+        return show_trajectory()
+    if args.pr is None:
+        existing = _bench_files()
+        if not existing:
+            parser.error("no BENCH_*.json to infer --pr from; pass --pr N")
+        args.pr = _pr_of(existing[-1])
+
+    results = measure(args.rows, args.kernel_rows, args.repeats)
+    doc = {
+        "schema_version": 1,
+        "pr": args.pr,
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            # sched_getaffinity is Linux-only
+            "cpus": (
+                len(os.sched_getaffinity(0))
+                if hasattr(os, "sched_getaffinity")
+                else os.cpu_count()
+            ),
+        },
+        "config": {
+            "rows": args.rows,
+            "kernel_rows": args.kernel_rows,
+            "repeats": args.repeats,
+        },
+        "results": results,
+    }
+    out = args.out or os.path.join(REPO_ROOT, f"BENCH_{args.pr}.json")
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    for row in results:
+        speedup = row.get("speedup")
+        tail = f"{speedup:.2f}x" if speedup is not None else ""
+        print(f"{row['name']:<26} packed {row['packed_seconds']:.3f}s  {tail}")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
