@@ -369,6 +369,22 @@ class Explainer:
             sample_extras=[],
         )
 
+    def _batch_from_matrix(
+        self, X, values, base_values, predictions, *, extras=None
+    ) -> BatchExplanation:
+        """Assemble a :class:`BatchExplanation` from precomputed
+        matrices — the common tail of every vectorized
+        :meth:`explain_batch` override."""
+        return BatchExplanation(
+            feature_names=list(self.feature_names),
+            values=values,
+            base_values=base_values,
+            predictions=predictions,
+            X=X,
+            method=self.method_name,
+            extras=extras or {},
+        )
+
     def explain_batch(self, X) -> BatchExplanation:
         """Explain each row of ``X``.
 

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.explainers.base import Explainer, Explanation
+from repro.core.explainers.base import BatchExplanation, Explainer, Explanation
 from repro.ml.boosting import GradientBoostingClassifier, GradientBoostingRegressor
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.packed_shap import packed_tree_shap
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor, TreeStructure
 
 __all__ = ["TreeShapExplainer", "tree_expected_value", "tree_shap_values"]
@@ -301,6 +302,20 @@ class TreeShapExplainer(Explainer):
             return None
         return int(matches[0])
 
+    def _packed_column(self):
+        """``(packed, column)`` when the vectorized kernel applies,
+        ``(None, None)`` otherwise (unpacked model, or a class column
+        no tree in the packed ensemble carries — the legacy loop then
+        reproduces the skip-every-component zeros)."""
+        packed_fn = getattr(self.model, "packed_ensemble", None)
+        if not callable(packed_fn):
+            return None, None
+        packed = packed_fn()
+        column = self.class_index if packed.outputs_are_classes else 0
+        if not 0 <= column < packed.n_outputs:
+            return None, None
+        return packed, column
+
     # ------------------------------------------------------------------
     def explain(self, x) -> Explanation:
         x = np.asarray(x, dtype=float).ravel()
@@ -319,4 +334,28 @@ class TreeShapExplainer(Explainer):
             x=x,
             method=self.method_name,
             extras={"n_trees": len(self._components)},
+        )
+
+    def explain_batch(self, X) -> BatchExplanation:
+        """Vectorized path-dependent TreeSHAP over all rows at once.
+
+        Runs :func:`repro.ml.packed_shap.packed_tree_shap` on the
+        model's packed node block — one polynomial sweep over every
+        (row, leaf) state instead of a Python recursion per (row,
+        tree).  Results match the per-row loop to <= 1e-10; models
+        without a packed form fall back to that loop.
+        """
+        X = self._check_batch(X, expected_d=len(self.feature_names))
+        if X.shape[0] == 0:
+            return self._empty_batch(X)
+        packed, column = self._packed_column()
+        if packed is None:
+            return super().explain_batch(X)
+        phi = packed_tree_shap(packed, X, column=column)
+        return self._batch_from_matrix(
+            X,
+            phi,
+            np.full(len(X), self.expected_value_),
+            self.expected_value_ + phi.sum(axis=1),
+            extras={"n_trees": len(self._components), "vectorized": True},
         )

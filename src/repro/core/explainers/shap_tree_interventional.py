@@ -25,26 +25,29 @@ rows yields interventional SHAP values.  Cost is O(leaves) per
 
 from __future__ import annotations
 
-from math import factorial
-
 import numpy as np
 
-from repro.core.explainers.base import Explainer, Explanation
+from repro.core.explainers.base import BatchExplanation, Explainer, Explanation
 from repro.core.explainers.shap_tree import TreeShapExplainer
+from repro.ml.packed_shap import (
+    interventional_weight_table,
+    packed_interventional_shap,
+)
 
 __all__ = ["InterventionalTreeShapExplainer", "tree_shap_interventional"]
 
-_W_CACHE: dict[tuple[int, int], float] = {}
+# precomputed W(a, b) table, grown on demand — float throughout
+# (lgamma-based), so deep paths never build huge-int factorials; the
+# same table feeds the vectorized kernel in repro.ml.packed_shap
+_W_TABLE = interventional_weight_table(32)
 
 
 def _weight(a: int, b: int) -> float:
     """``W(a, b) = a! b! / (a + b + 1)!`` — Shapley ordering weight."""
-    key = (a, b)
-    if key not in _W_CACHE:
-        _W_CACHE[key] = (
-            factorial(a) * factorial(b) / factorial(a + b + 1)
-        )
-    return _W_CACHE[key]
+    global _W_TABLE
+    if max(a, b) >= _W_TABLE.shape[0]:
+        _W_TABLE = interventional_weight_table(2 * max(a, b))
+    return float(_W_TABLE[a, b])
 
 
 def _single_reference_shap(
@@ -184,4 +187,34 @@ class InterventionalTreeShapExplainer(Explainer):
             x=x,
             method=self.method_name,
             extras={"n_background": len(self.background)},
+        )
+
+    def explain_batch(self, X) -> BatchExplanation:
+        """Vectorized interventional TreeSHAP over all rows at once.
+
+        Runs :func:`repro.ml.packed_shap.packed_interventional_shap`
+        on the model's packed node block — batched per-leaf game
+        contractions over every (row, background, tree) triple instead
+        of a Python recursion per pair.  Results match the per-row
+        loop to <= 1e-10; models without a packed form fall back to
+        that loop.
+        """
+        X = self._check_batch(X, expected_d=len(self.feature_names))
+        if X.shape[0] == 0:
+            return self._empty_batch(X)
+        packed, column = self._delegate._packed_column()
+        if packed is None:
+            return super().explain_batch(X)
+        phi = packed_interventional_shap(
+            packed, X, self.background, column=column
+        )
+        return self._batch_from_matrix(
+            X,
+            phi,
+            np.full(len(X), self.expected_value_),
+            self.expected_value_ + phi.sum(axis=1),
+            extras={
+                "n_background": len(self.background),
+                "vectorized": True,
+            },
         )

@@ -24,7 +24,11 @@ Tree-based models are evaluated by the packed inference engine
 (:class:`~repro.ml.packed.PackedEnsemble`): all trees are flattened
 into one contiguous node block and traversed in a single vectorized
 frontier loop, byte-identical to the per-tree reference loops but
-several times faster (see ``docs/performance.md``).
+several times faster (see ``docs/performance.md``).  The same node
+block backs vectorized TreeSHAP attribution
+(:mod:`~repro.ml.packed_shap`): both the path-dependent and the
+interventional variant run as array sweeps over all (row, leaf)
+states, matching the recursive reference explainers to <= 1e-10.
 """
 
 from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
@@ -35,6 +39,11 @@ from repro.ml.mlp import MLPClassifier, MLPRegressor
 from repro.ml.naive_bayes import GaussianNB
 from repro.ml.neighbors import KNeighborsClassifier, KNeighborsRegressor
 from repro.ml.packed import PackedEnsemble, PackedModelMixin
+from repro.ml.packed_shap import (
+    PackedPathTable,
+    packed_interventional_shap,
+    packed_tree_shap,
+)
 from repro.ml.preprocessing import MinMaxScaler, OneHotEncoder, StandardScaler
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 
@@ -56,9 +65,12 @@ __all__ = [
     "OneHotEncoder",
     "PackedEnsemble",
     "PackedModelMixin",
+    "PackedPathTable",
     "RandomForestClassifier",
     "RandomForestRegressor",
     "RegressorMixin",
     "RidgeRegression",
     "StandardScaler",
+    "packed_interventional_shap",
+    "packed_tree_shap",
 ]

@@ -487,6 +487,23 @@ class PackedEnsemble:
             total += self.scale * row
         return total
 
+    # ------------------------------------------------------------------
+    # attribution (vectorized TreeSHAP support)
+    # ------------------------------------------------------------------
+    def path_table(self):
+        """The memoized :class:`~repro.ml.packed_shap.PackedPathTable`
+        of this ensemble — the flat root-to-leaf path index the
+        vectorized TreeSHAP kernels gather against.  Built on first
+        use; like the ensemble itself it is a snapshot of the fitted
+        trees."""
+        table = getattr(self, "_path_table", None)
+        if table is None:
+            from repro.ml.packed_shap import PackedPathTable
+
+            table = PackedPathTable(self)
+            self._path_table = table
+        return table
+
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return (
             f"PackedEnsemble(n_trees={self.n_trees}, n_nodes={self.n_nodes}, "

@@ -1,0 +1,378 @@
+"""Vectorized TreeSHAP kernels on the packed ensemble node block.
+
+PR 5 fused tree *prediction* into one frontier loop over the packed
+node arrays, but forest attribution still walked Python recursions:
+the path-dependent explainer recursed per (row, tree) and the
+interventional explainer per (row, background, tree).  Under the
+matrix and streaming engines those recursions are the slowest cell
+left in the hot path (BENCH_5: ~1.5 s per 16-row forest batch even
+through KernelSHAP's sampled coalitions).
+
+This module computes the *exact* same Shapley values directly on the
+:class:`~repro.ml.packed.PackedEnsemble` block, with no per-tree
+Python loop:
+
+* :class:`PackedPathTable` — a pack-time index of every root-to-leaf
+  path in the whole ensemble.  Splits on the same feature along one
+  path are merged (their coverage ratios multiply, their decision
+  intervals intersect), so each leaf carries a flat list of *unique*
+  path features ``(feature, zero_fraction, lo, hi]``.  Whether an
+  instance "follows" a path feature is then a single interval test —
+  no descent at all.
+
+* :func:`packed_tree_shap` — path-dependent TreeSHAP (Lundberg et
+  al. 2018, Algorithm 2).  Per leaf the conditional-expectation game
+  is multilinear in the unique path features, so Algorithm 2's
+  EXTEND recursion becomes a lock-step polynomial sweep over all
+  ``(row, leaf)`` states at once: one vectorized update per path
+  position, then one batched UNWIND (a backward recurrence shared by
+  every position) to read off each feature's permutation-weight sum.
+  Because a feature the instance does *not* follow contributes the
+  same weight sum regardless of its coverage (the ``z_i`` factors
+  cancel analytically), the cold side needs no unwind at all.
+
+* :func:`packed_interventional_shap` — interventional TreeSHAP
+  (Lundberg et al. 2020, "Independent TreeSHAP").  A leaf's
+  single-reference game depends only on which unique path features
+  the instance ``x`` satisfies and which the reference ``z``
+  satisfies; its Shapley values are ``+W(a-1, b)`` per x-feature and
+  ``-W(a, b-1)`` per z-feature with ``W(a, b) = a! b! / (a+b+1)!``.
+  The cross terms factor into per-leaf batched matmuls over the path
+  positions, so the whole (row × background × leaf) game matrix is
+  three ``einsum`` contractions instead of a recursion per pair.
+
+Both kernels reproduce the legacy per-row recursions to <= 1e-10
+(floating-point reassociation is the only difference); the equality
+sweep lives in ``tests/ml/test_packed_shap.py`` and the Shapley-axiom
+properties in ``tests/core/test_properties_explainers.py``.  The
+Shapley ordering weights come from :func:`interventional_weight_table`
+/ :func:`path_weight_table` — lgamma-based float tables, shared with
+the legacy recursion so deep paths never touch Python big-int
+factorials.
+"""
+
+from __future__ import annotations
+
+from math import exp, lgamma
+
+import numpy as np
+
+__all__ = [
+    "PackedPathTable",
+    "interventional_weight_table",
+    "packed_interventional_shap",
+    "packed_tree_shap",
+    "path_weight_table",
+]
+
+#: Soft cap on ``row_block * n_leaves * (max_path + 1)`` floats held by
+#: the path-dependent sweep; keeps the polynomial state cache-friendly.
+_PAIR_STATE_BUDGET = 1 << 22
+
+#: Soft cap on ``rows * backgrounds * leaf_chunk`` floats held by the
+#: interventional game matrices.
+_GAME_STATE_BUDGET = 1 << 21
+
+
+def path_weight_table(m_max: int) -> np.ndarray:
+    """Permutation weights of the path-dependent game.
+
+    ``W[a, m] = a! (m - 1 - a)! / m!`` for ``0 <= a < m <= m_max``
+    (zero elsewhere): the probability weight of a coalition of size
+    ``a`` among ``m`` players, lgamma-based so no big-int factorials.
+    """
+    table = np.zeros((m_max + 1, m_max + 1))
+    for m in range(1, m_max + 1):
+        for a in range(m):
+            table[a, m] = exp(
+                lgamma(a + 1) + lgamma(m - a) - lgamma(m + 1)
+            )
+    return table
+
+
+def interventional_weight_table(n_max: int) -> np.ndarray:
+    """Shapley ordering weights of the single-reference game.
+
+    ``W[a, b] = a! b! / (a + b + 1)!`` for ``0 <= a, b <= n_max``,
+    computed through ``lgamma`` in float space — exact to one ulp for
+    every path depth a tree can reach, with none of the unbounded
+    big-int blowup of the ``factorial``-ratio formulation.
+    """
+    table = np.empty((n_max + 1, n_max + 1))
+    for a in range(n_max + 1):
+        for b in range(a, n_max + 1):
+            w = exp(lgamma(a + 1) + lgamma(b + 1) - lgamma(a + b + 2))
+            table[a, b] = w
+            table[b, a] = w
+    return table
+
+
+class PackedPathTable:
+    """Flat index of every root-to-leaf path of a packed ensemble.
+
+    Built once per :class:`~repro.ml.packed.PackedEnsemble` (and
+    memoized there via :meth:`~repro.ml.packed.PackedEnsemble.
+    path_table`); everything the SHAP kernels need per instance is
+    then a gather against these arrays.
+
+    Attributes
+    ----------
+    leaves:
+        Packed node id of every leaf, ``(n_leaves,)``.
+    elem_leaf, elem_feature, elem_zero, elem_lo, elem_hi:
+        One row per *unique* (leaf, path feature) pair, grouped by
+        leaf: the feature index, the merged coverage fraction
+        (product of ``n_child / n_parent`` over that feature's splits
+        on the path), and the merged decision interval — an instance
+        follows the feature's splits iff ``lo < x[f] <= hi``.
+    leaf_m:
+        Unique path features per leaf (0 for a root leaf).
+    max_path:
+        ``leaf_m.max()`` — the polynomial degree bound of the sweep.
+    elem_index:
+        ``(n_leaves, max_path)`` element ids padded with ``n_elems``
+        (a sentinel element that no instance follows and whose
+        coverage is 1.0, i.e. the identity extension).
+    zero_pos, feature_pos, valid_pos:
+        The element table gathered onto the padded position grid.
+    leaf_weights:
+        ``(n_leaves, max_path + 1)`` — row ``k`` holds the
+        permutation weights ``W[., leaf_m[k]]`` of that leaf's game.
+    factor:
+        The ensemble aggregation weight shared by every tree
+        (``1 / n_trees`` for mean mode, ``scale`` for boosting).
+    """
+
+    def __init__(self, packed):
+        is_leaf = packed._is_leaf
+        self.n_features = int(packed.n_features)
+        self.value = packed.value
+        self.factor = (
+            1.0 / packed.n_trees if packed.mode == "mean" else packed.scale
+        )
+        self.leaves = np.flatnonzero(is_leaf)
+        n_leaves = len(self.leaves)
+
+        parent = np.arange(packed.n_nodes, dtype=np.int64)
+        nonleaf = np.flatnonzero(~is_leaf)
+        parent[packed.children_left[nonleaf]] = nonleaf
+        parent[packed.children_right[nonleaf]] = nonleaf
+
+        # every (leaf, on-path child) edge, by chasing parents level
+        # by level — vectorized over all leaves at once
+        k_parts, c_parts = [], []
+        k = np.arange(n_leaves)
+        cur = self.leaves.copy()
+        live = packed.node_depth[cur] > 0
+        k, cur = k[live], cur[live]
+        while cur.size:
+            k_parts.append(k)
+            c_parts.append(cur)
+            cur = parent[cur]
+            live = packed.node_depth[cur] > 0
+            k, cur = k[live], cur[live]
+
+        if k_parts:
+            ek = np.concatenate(k_parts)
+            ec = np.concatenate(c_parts)
+            es = parent[ec]
+            ef = packed.feature[es]
+            ratio = packed.n_node_samples[ec] / packed.n_node_samples[es]
+            went_left = packed.children_left[es] == ec
+            lo = np.where(went_left, -np.inf, packed.threshold[es])
+            hi = np.where(went_left, packed.threshold[es], np.inf)
+            # merge repeated features within each leaf's path
+            order = np.lexsort((ef, ek))
+            ek, ef = ek[order], ef[order]
+            ratio, lo, hi = ratio[order], lo[order], hi[order]
+            new = np.empty(len(ek), dtype=bool)
+            new[0] = True
+            new[1:] = (ek[1:] != ek[:-1]) | (ef[1:] != ef[:-1])
+            starts = np.flatnonzero(new)
+            self.elem_leaf = ek[starts]
+            self.elem_feature = ef[starts]
+            self.elem_zero = np.multiply.reduceat(ratio, starts)
+            self.elem_lo = np.maximum.reduceat(lo, starts)
+            self.elem_hi = np.minimum.reduceat(hi, starts)
+        else:
+            self.elem_leaf = np.empty(0, dtype=np.int64)
+            self.elem_feature = np.empty(0, dtype=np.int64)
+            self.elem_zero = np.empty(0)
+            self.elem_lo = np.empty(0)
+            self.elem_hi = np.empty(0)
+
+        n_elems = len(self.elem_leaf)
+        self.n_elems = n_elems
+        self.leaf_m = np.bincount(self.elem_leaf, minlength=n_leaves)
+        self.max_path = int(self.leaf_m.max()) if n_leaves else 0
+
+        # padded (leaf, position) grid; the sentinel element n_elems is
+        # never followed (empty interval) and has coverage 1.0, so it
+        # extends the game polynomial by exactly nothing
+        elem_start = np.concatenate(([0], np.cumsum(self.leaf_m)))
+        self.elem_index = np.full(
+            (n_leaves, self.max_path), n_elems, dtype=np.int64
+        )
+        if n_elems:
+            pos = np.arange(n_elems) - elem_start[self.elem_leaf]
+            self.elem_index[self.elem_leaf, pos] = np.arange(n_elems)
+
+        self._gather_feature = np.append(self.elem_feature, 0)
+        self._gather_lo = np.append(self.elem_lo, np.inf)
+        self._gather_hi = np.append(self.elem_hi, np.inf)
+        self.zero_pos = np.append(self.elem_zero, 1.0)[self.elem_index]
+        self.feature_pos = self._gather_feature[self.elem_index]
+        self.valid_pos = self.elem_index < n_elems
+        weights = path_weight_table(self.max_path)
+        self.leaf_weights = weights[:, self.leaf_m].T.copy()
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves)
+
+    def follows(self, X: np.ndarray) -> np.ndarray:
+        """Interval test per (row, element): does the row satisfy every
+        split of that path feature?  Shape ``(len(X), n_elems + 1)``;
+        the trailing sentinel column is always ``False``."""
+        gathered = X[:, self._gather_feature]
+        return (gathered > self._gather_lo) & (gathered <= self._gather_hi)
+
+
+def packed_tree_shap(packed, X, *, column: int = 0) -> np.ndarray:
+    """Path-dependent SHAP values of every row against one output
+    column, shape ``(n_rows, n_features)`` — the ensemble-aggregated
+    equivalent of summing :func:`repro.core.explainers.shap_tree.
+    tree_shap_values` over all trees, computed as one vectorized
+    sweep over all (row, leaf, path position) states."""
+    X = packed._check_X(X)
+    table = packed.path_table()
+    n = len(X)
+    d = table.n_features
+    phi = np.zeros((n, d))
+    if n == 0 or table.max_path == 0:
+        return phi
+
+    m = table.max_path
+    n_leaves = table.n_leaves
+    leaf_value = table.value[table.leaves, column] * table.factor
+    weights = table.leaf_weights            # (L, m + 1)
+    z_pos = table.zero_pos                  # (L, m)
+    block = max(1, _PAIR_STATE_BUDGET // max(1, n_leaves * (m + 1)))
+
+    for start in range(0, n, block):
+        Xb = X[start:start + block]
+        r = len(Xb)
+        follows = table.follows(Xb)                    # (r, E + 1)
+        one_pos = follows[:, table.elem_index]         # (r, L, m) bool
+        one_f = one_pos.astype(float)
+
+        # EXTEND, lock-step over path positions: c[..., a] is the
+        # weightless Algorithm-2 polynomial — the sum over coalitions
+        # of a followed path features of the unfollowed features'
+        # coverage product.  The sentinel position (one=0, zero=1) is
+        # the identity, so ragged paths need no masking.
+        # after p steps only degrees 0..p are populated, so each step
+        # touches a growing slice instead of the full (m + 1) columns
+        c = np.zeros((r, n_leaves, m + 1))
+        c[..., 0] = 1.0
+        for p in range(m):
+            shifted = c[..., : p + 1] * one_f[..., p, None]
+            c[..., : p + 1] *= z_pos[:, p][None, :, None]
+            c[..., 1 : p + 2] += shifted
+
+        # a feature the row does not follow contributes the same
+        # permutation-weight sum regardless of its coverage (the z_i
+        # cancels), so one weighted reduction serves every cold feature
+        cold_sum = np.einsum("rla,la->rl", c, weights)
+
+        # UNWIND, batched across positions: u walks the backward
+        # recurrence c_without_i[a] = c[a+1] - z_i * c_without_i[a+1]
+        # for every position i at once, accumulating the weighted sum
+        unwound = np.zeros((r, n_leaves, m))
+        hot_sum = np.zeros((r, n_leaves, m))
+        weighted = np.empty_like(unwound)
+        for a in range(m - 1, -1, -1):
+            np.multiply(unwound, z_pos[None], out=unwound)
+            np.subtract(c[..., a + 1, None], unwound, out=unwound)
+            np.multiply(unwound, weights[:, a][None, :, None], out=weighted)
+            hot_sum += weighted
+
+        contrib = np.where(
+            one_pos,
+            (1.0 - z_pos)[None] * hot_sum,
+            -cold_sum[..., None],
+        )
+        contrib *= leaf_value[None, :, None]
+        contrib *= table.valid_pos[None]
+
+        flat = (
+            np.arange(r, dtype=np.int64)[:, None, None] * d
+            + table.feature_pos[None]
+        )
+        phi[start:start + r] = np.bincount(
+            flat.ravel(), weights=contrib.ravel(), minlength=r * d
+        ).reshape(r, d)
+    return phi
+
+
+def packed_interventional_shap(
+    packed, X, background, *, column: int = 0
+) -> np.ndarray:
+    """Interventional SHAP values of every row against ``background``,
+    shape ``(n_rows, n_features)`` — the ensemble-aggregated
+    equivalent of :func:`repro.core.explainers.
+    shap_tree_interventional.tree_shap_interventional` summed over
+    trees, computed as batched per-leaf game contractions."""
+    X = packed._check_X(X)
+    background = packed._check_X(background)
+    table = packed.path_table()
+    n, n_bg = len(X), len(background)
+    d = table.n_features
+    phi = np.zeros((n, d))
+    if n == 0 or n_bg == 0 or table.max_path == 0:
+        return phi
+
+    m = table.max_path
+    leaf_value = table.value[table.leaves, column] * table.factor
+    w_table = interventional_weight_table(m)
+    x_follows = table.follows(X)            # (n, E + 1)
+    z_follows = table.follows(background)   # (n_bg, E + 1)
+
+    chunk = max(1, _GAME_STATE_BUDGET // max(1, n * n_bg))
+    rows = np.arange(n, dtype=np.int64)[:, None, None] * d
+
+    for lo in range(0, table.n_leaves, chunk):
+        idx = table.elem_index[lo:lo + chunk]          # (Lc, m)
+        x_pos = x_follows[:, idx].astype(float)        # (n, Lc, m)
+        z_pos = z_follows[:, idx].astype(float)        # (n_bg, Lc, m)
+        x_count = x_pos.sum(axis=-1)                   # (n, Lc)
+        z_count = z_pos.sum(axis=-1)                   # (n_bg, Lc)
+        both = np.einsum("rkm,zkm->rzk", x_pos, z_pos, optimize=True)
+
+        # per (row, reference, leaf): a features only x satisfies,
+        # b features only z satisfies; a feature neither satisfies
+        # makes the leaf unreachable in every coalition
+        a = np.rint(x_count[:, None, :] - both).astype(np.int64)
+        b = np.rint(z_count[None, :, :] - both).astype(np.int64)
+        dead = (
+            table.leaf_m[lo:lo + chunk][None, None, :]
+            - x_count[:, None, :] - z_count[None, :, :] + both
+        ) > 0.5
+        value = leaf_value[lo:lo + chunk]
+        w_x = np.where(dead, 0.0, w_table[np.maximum(a - 1, 0), b]) * value
+        w_z = np.where(dead, 0.0, w_table[a, np.maximum(b - 1, 0)]) * value
+
+        # x-side: sum_z (1 - oz) * w_x factors through two
+        # contractions; z-side likewise.  Sentinel positions have
+        # oz = ox = 0, so they cancel to exactly zero.
+        x_weight = w_x.sum(axis=1)                      # (n, Lc)
+        g_x = np.einsum("zkm,rzk->rkm", z_pos, w_x, optimize=True)
+        g_z = np.einsum("zkm,rzk->rkm", z_pos, w_z, optimize=True)
+        contrib = x_pos * (x_weight[..., None] - g_x) - (1.0 - x_pos) * g_z
+        contrib *= table.valid_pos[lo:lo + chunk][None]
+
+        flat = rows + table.feature_pos[lo:lo + chunk][None]
+        phi += np.bincount(
+            flat.ravel(), weights=contrib.ravel(), minlength=n * d
+        ).reshape(n, d)
+    return phi / n_bg

@@ -16,6 +16,12 @@ properties must hold for *any* of them, not just the committed ones.
 KernelSHAP runs with ``n_samples >= 2^d - 2`` here so its coalition
 design is fully enumerated and the estimator is exact — the dummy and
 efficiency axioms are theorems in that regime, not approximations.
+
+The vectorized TreeSHAP kernels (``repro.ml.packed_shap``) get the
+same treatment plus an equivalence property: for random seeds, sizes,
+and depths, the packed array sweep must match the legacy per-row
+recursion to <= 1e-10 on both the path-dependent and interventional
+variants.
 """
 
 import numpy as np
@@ -25,17 +31,22 @@ from hypothesis import strategies as st
 
 from repro.core.explainers import (
     ExactShapleyExplainer,
+    InterventionalTreeShapExplainer,
     KernelShapExplainer,
     LimeExplainer,
     LinearShapExplainer,
     SamplingShapleyExplainer,
+    TreeShapExplainer,
     model_output_fn,
 )
+from repro.core.explainers.base import Explainer
 from repro.ml import (
+    GradientBoostingClassifier,
     LinearRegression,
     LogisticRegression,
     MLPClassifier,
     RandomForestClassifier,
+    RandomForestRegressor,
 )
 
 MODEL_NAMES = ("logistic", "forest", "mlp")
@@ -192,3 +203,135 @@ class TestPermutationInvariance:
         direct = explainer.explain_batch(rows).values
         permuted = explainer.explain_batch(rows[perm]).values
         np.testing.assert_allclose(permuted, direct[perm], atol=1e-10)
+
+
+def _random_tree_model(seed, n_estimators, max_depth, *, boosting=False):
+    """A model and data drawn from a hypothesis-provided seed — the
+    vectorized kernels must agree with the legacy recursions for any
+    of them, not just the committed fixtures."""
+    gen = np.random.default_rng(seed)
+    n, d = 150, 5
+    X = gen.normal(size=(n, d))
+    if boosting:
+        y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+        model = GradientBoostingClassifier(
+            n_estimators=n_estimators, max_depth=max_depth,
+            random_state=seed % 2**31,
+        ).fit(X, y)
+    else:
+        y = X[:, 0] - np.abs(X[:, 2]) + 0.1 * gen.normal(size=n)
+        model = RandomForestRegressor(
+            n_estimators=n_estimators, max_depth=max_depth,
+            random_state=seed % 2**31,
+        ).fit(X, y)
+    return model, X
+
+
+class TestVectorizedTreeShapProperties:
+    """The vectorized packed kernels vs the per-row recursions, across
+    random seeds, ensemble sizes, and depths (the ISSUE 6 contract:
+    equality to <= 1e-10 everywhere, plus the Shapley axioms)."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        n_estimators=st.integers(1, 10),
+        max_depth=st.integers(1, 7),
+        boosting=st.booleans(),
+    )
+    def test_path_dependent_equals_legacy(
+        self, seed, n_estimators, max_depth, boosting
+    ):
+        model, X = _random_tree_model(
+            seed, n_estimators, max_depth, boosting=boosting
+        )
+        explainer = TreeShapExplainer(model)
+        vectorized = explainer.explain_batch(X[:6])
+        legacy = Explainer.explain_batch(explainer, X[:6])
+        np.testing.assert_allclose(
+            vectorized.values, legacy.values, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            vectorized.predictions, legacy.predictions, atol=1e-10
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        n_estimators=st.integers(1, 8),
+        max_depth=st.integers(1, 6),
+        boosting=st.booleans(),
+    )
+    def test_interventional_equals_legacy(
+        self, seed, n_estimators, max_depth, boosting
+    ):
+        model, X = _random_tree_model(
+            seed, n_estimators, max_depth, boosting=boosting
+        )
+        explainer = InterventionalTreeShapExplainer(model, X[:8])
+        vectorized = explainer.explain_batch(X[:4])
+        legacy = Explainer.explain_batch(explainer, X[:4])
+        np.testing.assert_allclose(
+            vectorized.values, legacy.values, atol=1e-10
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_efficiency_path_dependent(self, seed):
+        """base + sum(phi) == the model's prediction, for every row."""
+        model, X = _random_tree_model(seed, 8, 5)
+        batch = TreeShapExplainer(model).explain_batch(X[:8])
+        np.testing.assert_allclose(
+            batch.predictions, model.predict(X[:8]), atol=1e-8
+        )
+        np.testing.assert_allclose(batch.additivity_gaps(), 0.0, atol=1e-10)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_efficiency_interventional(self, seed):
+        """base + sum(phi) == prediction, with base the background mean."""
+        model, X = _random_tree_model(seed, 6, 5)
+        explainer = InterventionalTreeShapExplainer(model, X[:10])
+        batch = explainer.explain_batch(X[:6])
+        np.testing.assert_allclose(
+            batch.predictions, model.predict(X[:6]), atol=1e-8
+        )
+        np.testing.assert_allclose(
+            batch.base_values, np.full(6, model.predict(X[:10]).mean()),
+            atol=1e-8,
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_dummy_feature_zero(self, seed):
+        """A constant column admits no split, so no tree uses it and
+        both kernels must attribute exactly zero to it."""
+        gen = np.random.default_rng(seed)
+        X = gen.normal(size=(150, 4))
+        X[:, -1] = 1.5  # constant: unsplittable
+        y = X[:, 0] - X[:, 1] + 0.1 * gen.normal(size=150)
+        model = RandomForestRegressor(
+            n_estimators=6, max_depth=4, random_state=0
+        ).fit(X, y)
+        path = TreeShapExplainer(model).explain_batch(X[:5])
+        np.testing.assert_allclose(path.values[:, -1], 0.0, atol=1e-12)
+        interventional = InterventionalTreeShapExplainer(
+            model, X[:8]
+        ).explain_batch(X[:5])
+        np.testing.assert_allclose(
+            interventional.values[:, -1], 0.0, atol=1e-12
+        )
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_batch_permutation_invariance(self, seed):
+        model, X = _random_tree_model(seed, 6, 5)
+        rows = X[:10]
+        perm = np.random.default_rng(seed).permutation(len(rows))
+        for explainer in (
+            TreeShapExplainer(model),
+            InterventionalTreeShapExplainer(model, X[:8]),
+        ):
+            direct = explainer.explain_batch(rows).values
+            permuted = explainer.explain_batch(rows[perm]).values
+            np.testing.assert_allclose(permuted, direct[perm], atol=1e-10)

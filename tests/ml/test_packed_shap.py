@@ -1,0 +1,417 @@
+"""Exact-equality sweep for the vectorized TreeSHAP kernels.
+
+ISSUE 6 tentpole contract: the vectorized kernels in
+:mod:`repro.ml.packed_shap` must agree with the legacy per-row
+recursions (``tree_shap_values`` and ``tree_shap_interventional``,
+reached through the explainers' base-class ``explain_batch`` loop) to
+<= 1e-10 on **every** supported model shape — the kernels are a faster
+arrangement of the same games, never an approximation.  The sweep
+mirrors ``test_packed.py``'s adversarial shapes: stumps, pure leaves,
+unbounded depth, missing-class bootstraps, subsampled boosting,
+single-row and single-background batches, and pickle round-trips.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.explainers import (
+    InterventionalTreeShapExplainer,
+    TreeShapExplainer,
+)
+from repro.core.explainers.base import Explainer
+from repro.core.explainers.shap_tree import tree_shap_values
+from repro.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from repro.ml.packed_shap import packed_tree_shap
+
+ATOL = 1e-10
+
+
+def _toy_data(seed=0, n=300, d=6):
+    gen = np.random.default_rng(seed)
+    X = gen.normal(size=(n, d))
+    y = (X[:, 0] + 0.5 * X[:, 1] ** 2 - X[:, 2] > 0).astype(int)
+    return X, y
+
+
+def legacy_batch(explainer, X):
+    """The base-class loop over ``explain`` — the per-row recursion
+    every vectorized override must reproduce."""
+    return Explainer.explain_batch(explainer, X)
+
+
+def assert_batches_equal(vectorized, legacy):
+    assert vectorized.values.shape == legacy.values.shape
+    np.testing.assert_allclose(vectorized.values, legacy.values, atol=ATOL)
+    np.testing.assert_allclose(
+        vectorized.base_values, legacy.base_values, atol=ATOL
+    )
+    np.testing.assert_allclose(
+        vectorized.predictions, legacy.predictions, atol=ATOL
+    )
+
+
+class TestPathDependentEquality:
+    def test_forest_classifier(self, fitted_rf, sla_split):
+        _, X_test, _, _ = sla_split
+        explainer = TreeShapExplainer(fitted_rf, class_index=1)
+        assert_batches_equal(
+            explainer.explain_batch(X_test[:12]),
+            legacy_batch(explainer, X_test[:12]),
+        )
+
+    def test_forest_classifier_other_class(self, fitted_rf, sla_split):
+        _, X_test, _, _ = sla_split
+        explainer = TreeShapExplainer(fitted_rf, class_index=0)
+        assert_batches_equal(
+            explainer.explain_batch(X_test[:6]),
+            legacy_batch(explainer, X_test[:6]),
+        )
+
+    def test_forest_regressor(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(
+            n_estimators=15, max_depth=6, random_state=0
+        ).fit(X, y)
+        explainer = TreeShapExplainer(forest)
+        assert_batches_equal(
+            explainer.explain_batch(X[:10]), legacy_batch(explainer, X[:10])
+        )
+
+    def test_unbounded_depth_forest(self):
+        X, y = _toy_data(3)
+        forest = RandomForestClassifier(n_estimators=10, random_state=1).fit(X, y)
+        explainer = TreeShapExplainer(forest, class_index=1)
+        assert_batches_equal(
+            explainer.explain_batch(X[:8]), legacy_batch(explainer, X[:8])
+        )
+
+    def test_missing_class_bootstraps(self):
+        """Rare third class: bootstraps that never saw it carry zero
+        value columns after packing; the legacy loop skips those trees
+        entirely.  Both paths must agree for the rare class itself."""
+        X, y = _toy_data(7, n=250)
+        y = y.copy()
+        y[:4] = 2
+        forest = RandomForestClassifier(
+            n_estimators=20, max_depth=5, random_state=2
+        ).fit(X, y)
+        assert min(len(t.classes_) for t in forest.estimators_) < 3
+        for class_index in (1, 2):
+            explainer = TreeShapExplainer(forest, class_index=class_index)
+            assert_batches_equal(
+                explainer.explain_batch(X[:8]), legacy_batch(explainer, X[:8])
+            )
+
+    def test_boosting_classifier_margin(self):
+        X, y = _toy_data(11)
+        model = GradientBoostingClassifier(
+            n_estimators=25, max_depth=3, random_state=0
+        ).fit(X, y)
+        explainer = TreeShapExplainer(model)
+        assert_batches_equal(
+            explainer.explain_batch(X[:8]), legacy_batch(explainer, X[:8])
+        )
+
+    def test_boosting_with_subsample(self):
+        X, y = _toy_data(13)
+        model = GradientBoostingClassifier(
+            n_estimators=20, subsample=0.6, random_state=5
+        ).fit(X, y)
+        explainer = TreeShapExplainer(model)
+        assert_batches_equal(
+            explainer.explain_batch(X[:8]), legacy_batch(explainer, X[:8])
+        )
+
+    def test_boosting_regressor(self, regression_data):
+        X, y = regression_data
+        model = GradientBoostingRegressor(
+            n_estimators=20, max_depth=3, random_state=0
+        ).fit(X, y)
+        explainer = TreeShapExplainer(model)
+        assert_batches_equal(
+            explainer.explain_batch(X[:8]), legacy_batch(explainer, X[:8])
+        )
+
+    def test_single_tree_classifier(self):
+        X, y = _toy_data(17)
+        tree = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        explainer = TreeShapExplainer(tree, class_index=0)
+        assert_batches_equal(
+            explainer.explain_batch(X[:8]), legacy_batch(explainer, X[:8])
+        )
+
+    def test_stump_forest(self):
+        """Depth-1 trees: every path is a single split."""
+        X, y = _toy_data(19)
+        forest = RandomForestClassifier(
+            n_estimators=12, max_depth=1, random_state=0
+        ).fit(X, y)
+        explainer = TreeShapExplainer(forest, class_index=1)
+        assert_batches_equal(
+            explainer.explain_batch(X[:10]), legacy_batch(explainer, X[:10])
+        )
+
+    def test_pure_leaf_tree_all_zero(self):
+        """A single-node tree has no splits: zero attributions, and the
+        prediction equals the base value."""
+        gen = np.random.default_rng(0)
+        X = gen.normal(size=(40, 3))
+        tree = DecisionTreeRegressor().fit(X, np.full(40, 2.5))
+        assert tree.tree_.n_nodes == 1
+        explainer = TreeShapExplainer(tree)
+        batch = explainer.explain_batch(X[:5])
+        assert np.array_equal(batch.values, np.zeros((5, 3)))
+        np.testing.assert_allclose(batch.predictions, np.full(5, 2.5))
+
+    def test_single_row_batch(self, fitted_rf, sla_split):
+        _, X_test, _, _ = sla_split
+        explainer = TreeShapExplainer(fitted_rf, class_index=1)
+        batch = explainer.explain_batch(X_test[:1])
+        single = explainer.explain(X_test[0])
+        np.testing.assert_allclose(batch.values[0], single.values, atol=ATOL)
+        assert batch.predictions[0] == pytest.approx(single.prediction, abs=ATOL)
+
+    def test_empty_batch(self, fitted_rf, sla_split):
+        _, X_test, _, _ = sla_split
+        explainer = TreeShapExplainer(fitted_rf, class_index=1)
+        batch = explainer.explain_batch(X_test[:0])
+        assert batch.n_samples == 0
+        assert batch.values.shape == (0, X_test.shape[1])
+
+    def test_out_of_range_class_batch_is_zero(self):
+        """A class no tree ever saw rides the legacy fallback and
+        explains as all-zero with a zero base value."""
+        X, y = _toy_data(43)
+        forest = RandomForestClassifier(n_estimators=4, random_state=0).fit(X, y)
+        explainer = TreeShapExplainer(forest, class_index=5)
+        batch = explainer.explain_batch(X[:3])
+        assert np.array_equal(batch.values, np.zeros((3, X.shape[1])))
+        assert np.array_equal(batch.base_values, np.zeros(3))
+
+    def test_matches_per_tree_recursion_directly(self):
+        """The kernel against the raw per-tree recursion (not just the
+        explainer wrapper): sum of tree_shap_values over trees."""
+        X, y = _toy_data(23, n=200, d=4)
+        forest = RandomForestClassifier(
+            n_estimators=8, max_depth=4, random_state=3
+        ).fit(X, y)
+        packed = forest.packed_ensemble()
+        phi = packed_tree_shap(packed, X[:6], column=1)
+        for row in range(6):
+            expected = np.zeros(4)
+            for tree_model in forest.estimators_:
+                output = np.flatnonzero(tree_model.classes_ == 1)
+                if len(output) == 0:
+                    continue
+                expected += tree_shap_values(
+                    tree_model.tree_, X[row], output=int(output[0])
+                )
+            expected /= len(forest.estimators_)
+            np.testing.assert_allclose(phi[row], expected, atol=ATOL)
+
+
+class TestInterventionalEquality:
+    def test_forest_classifier(self, fitted_rf, sla_split):
+        X_train, X_test, _, _ = sla_split
+        explainer = InterventionalTreeShapExplainer(
+            fitted_rf, X_train[:10], class_index=1
+        )
+        assert_batches_equal(
+            explainer.explain_batch(X_test[:5]),
+            legacy_batch(explainer, X_test[:5]),
+        )
+
+    def test_forest_regressor(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(
+            n_estimators=10, max_depth=5, random_state=0
+        ).fit(X, y)
+        explainer = InterventionalTreeShapExplainer(forest, X[:12])
+        assert_batches_equal(
+            explainer.explain_batch(X[:6]), legacy_batch(explainer, X[:6])
+        )
+
+    def test_unbounded_depth_forest(self):
+        X, y = _toy_data(3, n=150)
+        forest = RandomForestClassifier(n_estimators=6, random_state=1).fit(X, y)
+        explainer = InterventionalTreeShapExplainer(
+            forest, X[:8], class_index=1
+        )
+        assert_batches_equal(
+            explainer.explain_batch(X[:5]), legacy_batch(explainer, X[:5])
+        )
+
+    def test_missing_class_bootstraps(self):
+        X, y = _toy_data(7, n=250)
+        y = y.copy()
+        y[:4] = 2
+        forest = RandomForestClassifier(
+            n_estimators=15, max_depth=4, random_state=2
+        ).fit(X, y)
+        assert min(len(t.classes_) for t in forest.estimators_) < 3
+        explainer = InterventionalTreeShapExplainer(
+            forest, X[:10], class_index=2
+        )
+        assert_batches_equal(
+            explainer.explain_batch(X[:5]), legacy_batch(explainer, X[:5])
+        )
+
+    def test_boosting_with_subsample(self):
+        X, y = _toy_data(13)
+        model = GradientBoostingClassifier(
+            n_estimators=15, subsample=0.6, random_state=5
+        ).fit(X, y)
+        explainer = InterventionalTreeShapExplainer(model, X[:10])
+        assert_batches_equal(
+            explainer.explain_batch(X[:5]), legacy_batch(explainer, X[:5])
+        )
+
+    def test_stump_forest(self):
+        X, y = _toy_data(19)
+        forest = RandomForestClassifier(
+            n_estimators=10, max_depth=1, random_state=0
+        ).fit(X, y)
+        explainer = InterventionalTreeShapExplainer(
+            forest, X[:15], class_index=1
+        )
+        assert_batches_equal(
+            explainer.explain_batch(X[:8]), legacy_batch(explainer, X[:8])
+        )
+
+    def test_pure_leaf_tree_all_zero(self):
+        gen = np.random.default_rng(0)
+        X = gen.normal(size=(40, 3))
+        tree = DecisionTreeRegressor().fit(X, np.full(40, 2.5))
+        explainer = InterventionalTreeShapExplainer(tree, X[:5])
+        batch = explainer.explain_batch(X[5:10])
+        assert np.array_equal(batch.values, np.zeros((5, 3)))
+        np.testing.assert_allclose(batch.predictions, np.full(5, 2.5))
+
+    def test_single_background_row(self):
+        """One reference row: the background mean is that row's game."""
+        X, y = _toy_data(29, n=200, d=4)
+        forest = RandomForestClassifier(
+            n_estimators=8, max_depth=4, random_state=0
+        ).fit(X, y)
+        explainer = InterventionalTreeShapExplainer(
+            forest, X[:1], class_index=1
+        )
+        assert_batches_equal(
+            explainer.explain_batch(X[:6]), legacy_batch(explainer, X[:6])
+        )
+
+    def test_single_row_batch(self):
+        X, y = _toy_data(31, n=200, d=4)
+        forest = RandomForestClassifier(
+            n_estimators=8, max_depth=4, random_state=0
+        ).fit(X, y)
+        explainer = InterventionalTreeShapExplainer(
+            forest, X[:10], class_index=1
+        )
+        batch = explainer.explain_batch(X[:1])
+        single = explainer.explain(X[0])
+        np.testing.assert_allclose(batch.values[0], single.values, atol=ATOL)
+        assert batch.predictions[0] == pytest.approx(single.prediction, abs=ATOL)
+
+    def test_empty_batch(self):
+        X, y = _toy_data(31, n=100, d=4)
+        forest = RandomForestClassifier(n_estimators=4, random_state=0).fit(X, y)
+        explainer = InterventionalTreeShapExplainer(
+            forest, X[:5], class_index=1
+        )
+        batch = explainer.explain_batch(X[:0])
+        assert batch.n_samples == 0
+
+    def test_out_of_range_class_batch_is_zero(self):
+        X, y = _toy_data(43)
+        forest = RandomForestClassifier(n_estimators=4, random_state=0).fit(X, y)
+        explainer = InterventionalTreeShapExplainer(
+            forest, X[:6], class_index=5
+        )
+        batch = explainer.explain_batch(X[:3])
+        assert np.array_equal(batch.values, np.zeros((3, X.shape[1])))
+
+
+class TestPickleRoundTrip:
+    def test_path_dependent_explainer_round_trip(self):
+        X, y = _toy_data(37, n=200, d=4)
+        forest = RandomForestClassifier(
+            n_estimators=6, max_depth=4, random_state=0
+        ).fit(X, y)
+        explainer = TreeShapExplainer(forest, class_index=1)
+        before = explainer.explain_batch(X[:5])
+        clone = pickle.loads(pickle.dumps(explainer))
+        # the packed snapshot (and its path table) is dropped from the
+        # pickled state and rebuilt on first use
+        assert "_packed" not in clone.model.__dict__
+        after = clone.explain_batch(X[:5])
+        np.testing.assert_allclose(after.values, before.values, atol=ATOL)
+
+    def test_interventional_explainer_round_trip(self):
+        X, y = _toy_data(41, n=200, d=4)
+        forest = RandomForestClassifier(
+            n_estimators=6, max_depth=4, random_state=0
+        ).fit(X, y)
+        explainer = InterventionalTreeShapExplainer(
+            forest, X[:8], class_index=1
+        )
+        before = explainer.explain_batch(X[:4])
+        clone = pickle.loads(pickle.dumps(explainer))
+        after = clone.explain_batch(X[:4])
+        np.testing.assert_allclose(after.values, before.values, atol=ATOL)
+
+
+class TestPathTableStructure:
+    def test_memoized_on_packed_ensemble(self):
+        X, y = _toy_data(47, n=150, d=4)
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        packed = forest.packed_ensemble()
+        assert packed.path_table() is packed.path_table()
+
+    def test_leaf_coverage_products_match_node_weights(self, fitted_rf):
+        """Per-leaf product of merged coverage fractions must equal the
+        packed engine's own node weights at the leaves — the two
+        derivations of the feature-absent descent mass."""
+        packed = fitted_rf.packed_ensemble()
+        table = packed.path_table()
+        products = np.ones(table.n_leaves)
+        np.multiply.at(products, table.elem_leaf, table.elem_zero)
+        np.testing.assert_allclose(
+            products, packed.node_weights()[table.leaves], rtol=1e-12
+        )
+
+    def test_reached_leaf_is_the_one_with_all_features_followed(
+        self, fitted_rf, sla_split
+    ):
+        """A row follows every unique path feature of exactly the leaf
+        it lands in (per tree) — the interval merge is faithful."""
+        _, X_test, _, _ = sla_split
+        packed = fitted_rf.packed_ensemble()
+        table = packed.path_table()
+        row = X_test[:1]
+        follows = table.follows(row)[0]
+        per_elem = np.concatenate((follows[:-1], [False]))
+        followed_count = np.zeros(table.n_leaves, dtype=int)
+        np.add.at(followed_count, table.elem_leaf, per_elem[:table.n_elems])
+        fully_followed = np.flatnonzero(followed_count == table.leaf_m)
+        reached = packed.apply(row)[0]
+        # packed.apply returns global node ids in estimator order;
+        # every reached leaf must be fully followed, one per tree
+        reached_positions = np.searchsorted(table.leaves, reached)
+        assert set(reached_positions) <= set(fully_followed.tolist())
+        assert len(fully_followed) == packed.n_trees
+
+    def test_max_path_bounded_by_depth_and_features(self, fitted_rf):
+        packed = fitted_rf.packed_ensemble()
+        table = packed.path_table()
+        assert table.max_path <= min(packed.max_depth, packed.n_features)
+        assert table.leaf_m.max() == table.max_path

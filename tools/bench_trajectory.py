@@ -5,8 +5,11 @@ PRs instead of living only in prose and benchmark stdout.
 
 Each run measures the packed-vs-legacy A/B panel that PR 5 introduced
 (forest ``predict_proba``, boosting margin, KernelSHAP-over-forest
-batch explanation) with best-of-N wall clocks, asserts exact output
-equality, and writes one JSON document::
+batch explanation) plus the vectorized TreeSHAP panel PR 6 added
+(path-dependent and interventional batches vs the legacy per-row
+recursions, and the derived exact-vs-sampled attribution ratio) with
+best-of-N wall clocks, asserts output equality, and writes one JSON
+document::
 
     PYTHONPATH=src python tools/bench_trajectory.py --pr 5
 
@@ -50,8 +53,13 @@ from benchmarks.bench_e6_inference import (  # noqa: E402
 )
 from repro.core.cache import clear_cache  # noqa: E402
 from repro.core.explainers import (  # noqa: E402
+    InterventionalTreeShapExplainer,
     KernelShapExplainer,
+    TreeShapExplainer,
     model_output_fn,
+)
+from repro.core.explainers.base import (  # noqa: E402
+    Explainer as _ExplainerBase,
 )
 from repro.datasets import make_sla_violation_dataset  # noqa: E402
 from repro.ml import (  # noqa: E402
@@ -59,6 +67,11 @@ from repro.ml import (  # noqa: E402
     RandomForestClassifier,
 )
 from repro.ml.model_selection import train_test_split  # noqa: E402
+
+
+# the per-row fallback every explainer inherits — calling it unbound
+# bypasses the vectorized explain_batch overrides
+_legacy_explain_batch = _ExplainerBase.explain_batch
 
 
 def _best_of(fn, repeats):
@@ -70,9 +83,10 @@ def _best_of(fn, repeats):
     return result, best
 
 
-def _ab(name, packed_fn, legacy_fn, *, repeats, equal_fn=np.array_equal, **extra):
+def _ab(name, packed_fn, legacy_fn, *, repeats, legacy_repeats=None,
+        equal_fn=np.array_equal, **extra):
     packed_out, packed_s = _best_of(packed_fn, repeats)
-    legacy_out, legacy_s = _best_of(legacy_fn, repeats)
+    legacy_out, legacy_s = _best_of(legacy_fn, legacy_repeats or repeats)
     equal = bool(equal_fn(packed_out, legacy_out))
     if not equal:
         raise AssertionError(f"{name}: packed output != legacy output")
@@ -164,6 +178,59 @@ def measure(rows: int, kernel_rows: int, repeats: int) -> list[dict]:
             rows=kernel_rows,
             n_samples=256,
         )
+    )
+    kernel_row = results[-1]
+
+    # PR 6: vectorized TreeSHAP on the packed node block vs the legacy
+    # per-row recursions.  Attributions are reassociated floats, so
+    # equality here is <= 1e-10 rather than bitwise.
+    def shap_close(a, b):
+        return np.allclose(a, b, atol=1e-10)
+
+    tree_explainer = TreeShapExplainer(forest, names, class_index=1)
+    forest.packed_ensemble().path_table()  # build once, untimed
+    results.append(
+        _ab(
+            "tree_shap_batch_forest",
+            lambda: tree_explainer.explain_batch(explained).values,
+            lambda: _legacy_explain_batch(tree_explainer, explained).values,
+            repeats=repeats,
+            legacy_repeats=1,  # the recursion loop is slow and stable
+            equal_fn=shap_close,
+            rows=kernel_rows,
+        )
+    )
+    tree_row = results[-1]
+
+    interventional = InterventionalTreeShapExplainer(
+        forest, X_train[:20], names, class_index=1
+    )
+    results.append(
+        _ab(
+            "interventional_tree_shap",
+            lambda: interventional.explain_batch(explained[:8]).values,
+            lambda: _legacy_explain_batch(interventional, explained[:8]).values,
+            repeats=repeats,
+            legacy_repeats=1,
+            equal_fn=shap_close,
+            rows=8,
+            n_background=20,
+        )
+    )
+
+    # the headline exact-vs-sampled ratio: vectorized TreeSHAP against
+    # the packed KernelSHAP batch at the identical 16-row configuration
+    results.append(
+        {
+            "name": "tree_shap_vs_kernel_shap",
+            "legacy_seconds": kernel_row["packed_seconds"],
+            "packed_seconds": tree_row["packed_seconds"],
+            "speedup": round(
+                kernel_row["packed_seconds"] / tree_row["packed_seconds"], 3
+            ),
+            "derived": True,
+            "rows": kernel_rows,
+        }
     )
     return results
 
