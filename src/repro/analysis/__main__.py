@@ -1,0 +1,26 @@
+"""Standalone entry point: ``python -m repro.analysis [paths...]``.
+
+Identical behavior to ``repro lint``, without importing numpy or the
+rest of the CLI — the form the CI lint job runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.cli import add_lint_arguments, run_lint_command
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="static determinism / picklability / lock-contract "
+                    "analysis (see docs/linting.md)",
+    )
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Committed baselines: grandfathered findings that do not gate CI.
+
+A baseline entry matches findings by ``(path, rule, snippet)`` with a
+count — deliberately *not* by line number, so unrelated edits that
+shift lines never invalidate the baseline, while a new occurrence of
+the same pattern in the same file immediately shows up as an active
+finding.  Entries carry a ``justification`` string so the file reads
+as a reviewed ledger, not a dumping ground.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+_DEFAULT_JUSTIFICATION = "grandfathered at baseline creation"
+
+
+@dataclass
+class BaselineEntry:
+    path: str
+    rule: str
+    snippet: str
+    count: int = 1
+    justification: str = _DEFAULT_JUSTIFICATION
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.path, self.rule, self.snippet)
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "rule": self.rule,
+            "snippet": self.snippet,
+            "count": self.count,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered findings, loadable/dumpable as JSON."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    note: str = ""
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("version") != 1:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}"
+            )
+        return cls(
+            entries=[
+                BaselineEntry(
+                    path=entry["path"],
+                    rule=entry["rule"],
+                    snippet=entry["snippet"],
+                    count=int(entry.get("count", 1)),
+                    justification=entry.get(
+                        "justification", _DEFAULT_JUSTIFICATION
+                    ),
+                )
+                for entry in data.get("entries", [])
+            ],
+            note=data.get("note", ""),
+        )
+
+    def dump(self, path) -> None:
+        data = {
+            "version": 1,
+            "note": self.note,
+            "entries": [
+                entry.as_dict()
+                for entry in sorted(self.entries, key=BaselineEntry.key)
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2)
+            handle.write("\n")
+
+    # ------------------------------------------------------------------
+    def apply(self, findings: list[Finding]) -> None:
+        """Mark findings covered by an entry as ``baselined`` in place.
+
+        Per ``(path, rule, snippet)`` key, at most ``count`` findings
+        are grandfathered (in file order); any excess stays active —
+        adding a *second* copy of a baselined pattern is a new finding.
+        """
+        budget = {entry.key(): entry.count for entry in self.entries}
+        for finding in sorted(findings, key=Finding.sort_key):
+            key = (finding.path, finding.rule, finding.snippet)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                finding.baselined = True
+
+    @classmethod
+    def from_findings(
+        cls, findings, *, note: str = "", previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """Build a baseline grandfathering every finding in ``findings``,
+        carrying over justifications from ``previous`` where keys match."""
+        kept_justifications = {}
+        if previous is not None:
+            kept_justifications = {
+                entry.key(): entry.justification for entry in previous.entries
+            }
+        counts = Counter(
+            (finding.path, finding.rule, finding.snippet)
+            for finding in findings
+        )
+        entries = [
+            BaselineEntry(
+                path=path,
+                rule=rule,
+                snippet=snippet,
+                count=count,
+                justification=kept_justifications.get(
+                    (path, rule, snippet), _DEFAULT_JUSTIFICATION
+                ),
+            )
+            for (path, rule, snippet), count in sorted(counts.items())
+        ]
+        return cls(
+            entries=entries,
+            note=note or (previous.note if previous is not None else ""),
+        )

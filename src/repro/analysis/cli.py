@@ -1,0 +1,98 @@
+"""Argument wiring for the lint command.
+
+Shared by the ``repro lint`` subcommand and the numpy-free standalone
+entry point ``python -m repro.analysis`` — the CI lint job uses the
+latter so it never installs the numerical stack the rest of the CLI
+needs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+__all__ = ["add_lint_arguments", "run_lint_command"]
+
+
+def add_lint_arguments(parser) -> None:
+    """Attach the lint command's arguments to ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directory trees to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the CI artifact format)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="committed baseline JSON; matching findings do not gate",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline to grandfather every current finding "
+             "(keeps justifications of retained entries)",
+    )
+    parser.add_argument(
+        "--gate", action="append", default=None, metavar="PATH",
+        help="only findings under PATH fail the run (repeatable; "
+             "default: every analyzed path gates)",
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="always exit 0, whatever is found",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the report to FILE (e.g. the CI artifact)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="text format: also list baselined findings",
+    )
+
+
+def run_lint_command(args) -> int:
+    """Execute a parsed lint command; returns the process exit code."""
+    from repro.analysis import (
+        Baseline,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    baseline = None
+    if args.baseline is not None and os.path.exists(args.baseline):
+        baseline = Baseline.load(args.baseline)
+
+    report = run_lint(args.paths, baseline=baseline)
+
+    if args.update_baseline:
+        if args.baseline is None:
+            print("error: --update-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        refreshed = Baseline.from_findings(
+            report.findings + report.baselined,
+            note=baseline.note if baseline is not None else (
+                "Grandfathered findings; new code must be clean. "
+                "See docs/linting.md."
+            ),
+            previous=baseline,
+        )
+        refreshed.dump(args.baseline)
+        print(f"baseline written: {args.baseline} "
+              f"({len(refreshed.entries)} entries)")
+        return 0
+
+    rendered = (render_json(report) if args.format == "json"
+                else render_text(report, verbose=args.verbose))
+    print(rendered)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+
+    if args.report_only:
+        return 0
+    gates = args.gate if args.gate else list(args.paths)
+    return 1 if report.gate_failures(gates) else 0

@@ -1,0 +1,374 @@
+"""The AST visitor engine.
+
+One pass per module: a pre-pass collects import aliases, module-level
+mutable bindings, and lock declarations; the main recursive walk then
+feeds every node to every registered checker while maintaining the
+lexical context rules need — the enclosing function stack (with its
+local bindings, nested defs, and ``global`` declarations) and the
+``with <lock>:`` nesting depth.
+
+Checkers are small classes with a single ``check(node, ctx)`` hook
+returning findings; they are pure functions of the node plus context,
+which keeps each rule independently testable on source snippets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "Checker",
+    "FunctionScope",
+    "ModuleContext",
+    "analyze_source",
+    "dotted_name",
+    "is_set_expr",
+]
+
+#: constructors whose result is module-level *mutable* state worth
+#: guarding (the C-family's definition of "mutable binding")
+_MUTABLE_CONSTRUCTORS = {
+    "list", "dict", "set", "bytearray",
+    "OrderedDict", "defaultdict", "deque", "Counter",
+    "WeakKeyDictionary", "WeakValueDictionary",
+}
+
+
+def dotted_name(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve an attribute chain to its dotted module path.
+
+    ``np.random.default_rng`` with ``{"np": "numpy"}`` resolves to
+    ``"numpy.random.default_rng"``; a chain rooted at an unknown local
+    name resolves to ``None``.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    base = aliases.get(current.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def is_set_expr(node: ast.AST, ctx: "ModuleContext | None" = None) -> bool:
+    """Syntactic check: does ``node`` evaluate to a set?
+
+    Recognizes set literals and comprehensions, ``set(...)`` /
+    ``frozenset(...)`` calls, set-algebra expressions over them, and
+    names every assignment of which (in the enclosing function, or at
+    module level) is itself a set expression.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+    ):
+        return is_set_expr(node.left, ctx) or is_set_expr(node.right, ctx)
+    if isinstance(node, ast.Name) and ctx is not None:
+        scope = ctx.current_function
+        if scope is not None and node.id in scope.set_typed_names:
+            return True
+        if (
+            node.id in ctx.module_set_names
+            and (scope is None or node.id not in scope.bound_names)
+        ):
+            return True
+    return False
+
+
+@dataclass
+class FunctionScope:
+    """Lexical facts about one function on the traversal stack."""
+
+    node: ast.AST
+    #: every name bound locally (parameters + assignment targets +
+    #: nested def/class names) — used to detect shadowing
+    bound_names: set[str] = field(default_factory=set)
+    #: names of functions/lambdas defined inside this function
+    nested_callables: set[str] = field(default_factory=set)
+    #: names declared ``global`` in this function
+    global_names: set[str] = field(default_factory=set)
+    #: local names whose every assignment is a set expression
+    set_typed_names: set[str] = field(default_factory=set)
+
+
+class ModuleContext:
+    """Everything a checker may ask about the module being analyzed."""
+
+    def __init__(self, path: str, tree: ast.Module, source: str):
+        self.path = path
+        self.source_lines = source.splitlines()
+        self.aliases: dict[str, str] = {}
+        self.module_mutable_names: set[str] = set()
+        self.module_set_names: set[str] = set()
+        self.lock_names: set[str] = set()
+        self.declares_lock = False
+        self.function_stack: list[FunctionScope] = []
+        self.lock_depth = 0
+        self.parents: dict[int, ast.AST] = {}
+        self._prime(tree)
+
+    # ------------------------------------------------------------------
+    @property
+    def current_function(self) -> FunctionScope | None:
+        return self.function_stack[-1] if self.function_stack else None
+
+    def parent_of(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(id(node))
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=node.lineno,
+            col=node.col_offset,
+            message=message,
+            snippet=self.source_line(node.lineno),
+        )
+
+    def name_is_local(self, name: str) -> bool:
+        """Is ``name`` rebound by any function on the current stack?"""
+        return any(name in scope.bound_names for scope in self.function_stack)
+
+    def name_is_nested_callable(self, name: str) -> bool:
+        return any(
+            name in scope.nested_callables for scope in self.function_stack
+        )
+
+    # ------------------------------------------------------------------
+    def _prime(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[id(child)] = node
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # `import numpy.random` binds the *root* name
+                        root = alias.name.split(".")[0]
+                        self.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay local to the package
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{node.module}.{alias.name}"
+        for stmt in tree.body:
+            self._prime_module_binding(stmt)
+        # lock declarations can live anywhere (commonly ``self._lock =
+        # threading.RLock()`` inside __init__)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and self._is_lock_call(node.value):
+                self.declares_lock = True
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.lock_names.add(target.id)
+                    elif isinstance(target, ast.Attribute):
+                        self.lock_names.add(target.attr)
+
+    def _prime_module_binding(self, stmt: ast.stmt) -> None:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            return
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        value = stmt.value
+        if value is None:
+            return
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if self._is_mutable_constructor(value):
+                self.module_mutable_names.add(target.id)
+            if is_set_expr(value):
+                self.module_set_names.add(target.id)
+
+    @staticmethod
+    def _is_mutable_constructor(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            return name in _MUTABLE_CONSTRUCTORS
+        return False
+
+    def _is_lock_call(self, node: ast.expr | None) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        resolved = dotted_name(node.func, self.aliases)
+        return resolved in ("threading.Lock", "threading.RLock")
+
+    def with_item_is_lock(self, item: ast.withitem) -> bool:
+        """Heuristic: a ``with`` context manager counts as "the lock"
+        when its dotted name ends in a declared lock binding or simply
+        mentions "lock" (``self._lock``, ``cache_lock``, ...)."""
+        expr = item.context_expr
+        # ``with lock.acquire_timeout(...)``-style calls: inspect func
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        name = None
+        if isinstance(expr, ast.Attribute):
+            name = expr.attr
+        elif isinstance(expr, ast.Name):
+            name = expr.id
+        if name is None:
+            return False
+        return name in self.lock_names or "lock" in name.lower()
+
+
+class Checker:
+    """Base class for rule checkers: override :meth:`check`."""
+
+    def check(self, node: ast.AST, ctx: ModuleContext):  # pragma: no cover
+        raise NotImplementedError
+
+
+def _binding_names(target: ast.expr) -> list[str]:
+    """Names actually (re)bound by an assignment/loop target.
+
+    ``x = ...`` and ``x, y = ...`` bind; ``obj[k] = ...`` and
+    ``obj.attr = ...`` mutate an existing object and bind nothing —
+    treating their base name as a local would hide module-state
+    mutations behind a phantom shadow.
+    """
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Starred):
+        return _binding_names(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for elt in target.elts:
+            names.extend(_binding_names(elt))
+        return names
+    return []
+
+
+def _scan_function_scope(node) -> FunctionScope:
+    """Collect the local bindings of one function without descending
+    into functions nested inside it."""
+    scope = FunctionScope(node=node)
+    args = node.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        scope.bound_names.add(arg.arg)
+    if isinstance(node, ast.Lambda):
+        return scope
+
+    set_assignments: dict[str, list[bool]] = {}
+
+    def visit(stmt_or_expr, top: bool) -> None:
+        for child in ast.iter_child_nodes(stmt_or_expr):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope.bound_names.add(child.name)
+                scope.nested_callables.add(child.name)
+                continue  # do not descend: its locals are its own
+            if isinstance(child, ast.ClassDef):
+                scope.bound_names.add(child.name)
+                continue
+            if isinstance(child, ast.Global):
+                scope.global_names.update(child.names)
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    scope.bound_names.update(_binding_names(target))
+                    if isinstance(target, ast.Name):
+                        set_assignments.setdefault(target.id, []).append(
+                            is_set_expr(child.value)
+                        )
+                        if isinstance(child.value, ast.Lambda):
+                            scope.nested_callables.add(target.id)
+            elif isinstance(child, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(child.target, ast.Name):
+                    scope.bound_names.add(child.target.id)
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                scope.bound_names.update(_binding_names(child.target))
+            elif isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    if item.optional_vars is not None:
+                        scope.bound_names.update(
+                            _binding_names(item.optional_vars)
+                        )
+            visit(child, top=False)
+
+    visit(node, top=True)
+    scope.set_typed_names = {
+        name
+        for name, flags in set_assignments.items()
+        if flags and all(flags)
+    }
+    # a name declared global is module state, not a local binding
+    scope.bound_names -= scope.global_names
+    return scope
+
+
+def analyze_source(
+    source: str, path: str, checkers
+) -> list[Finding]:
+    """Run ``checkers`` over ``source``; returns raw findings (no
+    suppression or baseline filtering — the runner applies those)."""
+    tree = ast.parse(source, filename=path)
+    ctx = ModuleContext(path, tree, source)
+    findings: list[Finding] = []
+
+    def dispatch(node: ast.AST) -> None:
+        for checker in checkers:
+            result = checker.check(node, ctx)
+            if result:
+                findings.extend(result)
+
+    def walk(node: ast.AST) -> None:
+        dispatch(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            ctx.function_stack.append(_scan_function_scope(node))
+            for child in ast.iter_child_nodes(node):
+                walk(child)
+            ctx.function_stack.pop()
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            holds_lock = any(ctx.with_item_is_lock(item) for item in node.items)
+            for item in node.items:
+                walk(item.context_expr)
+                if item.optional_vars is not None:
+                    walk(item.optional_vars)
+            if holds_lock:
+                ctx.lock_depth += 1
+            for stmt in node.body:
+                walk(stmt)
+            if holds_lock:
+                ctx.lock_depth -= 1
+            return
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+
+    walk(tree)
+    findings.sort(key=Finding.sort_key)
+    return findings

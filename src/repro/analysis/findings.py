@@ -1,0 +1,72 @@
+"""The unit of analyzer output: one finding at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass
+class Finding:
+    """One rule violation at one location.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier (``"D101"``, ``"P201"``, ...).
+    path:
+        File path, normalized to forward slashes, relative to the lint
+        root when the file lives under it.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable description of the violation.
+    snippet:
+        The stripped source line — the stable, line-number-independent
+        part of the finding that baseline matching keys on.
+    suppressed:
+        Set by the runner when a ``# repro: lint-ignore[...]`` comment
+        on the line covers this rule.
+    baselined:
+        Set by the runner when a committed baseline entry grandfathers
+        this finding.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    suppressed: bool = field(default=False, compare=False)
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def active(self) -> bool:
+        """True when neither suppressed inline nor baselined."""
+        return not (self.suppressed or self.baselined)
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "status": (
+                "suppressed"
+                if self.suppressed
+                else "baselined" if self.baselined else "active"
+            ),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"{self.location()}: {self.rule} {self.message}"

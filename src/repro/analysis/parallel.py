@@ -1,0 +1,57 @@
+"""P-family checker: picklability of tasks handed to the executors.
+
+The process backend (:class:`repro.core.executor.ProcessExecutor`)
+pickles every task function and item to ship them to workers.  Lambdas
+and functions defined inside other functions cannot be pickled, so code
+passing them to ``map``/``imap``/``map_seeded`` works with the serial
+and thread backends and explodes only under ``--backend process`` —
+exactly the class of latent failure PR 3 scrubbed out of the library
+(``ModelOutputFn`` exists because of it).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Checker
+
+__all__ = ["PicklabilityChecker"]
+
+
+class PicklabilityChecker(Checker):
+    """P201: lambda / nested function passed to an executor map.
+
+    Matches any ``<receiver>.map(...)``, ``.imap(...)`` or
+    ``.map_seeded(...)`` call — the executor protocol's entry points —
+    and flags arguments that are lambdas, names bound to lambdas, or
+    names of functions defined inside the enclosing function.  Bound
+    methods and module-level functions pickle fine and pass clean.
+    """
+
+    _MAP_METHODS = {"map", "imap", "map_seeded"}
+
+    def check(self, node, ctx):
+        if not isinstance(node, ast.Call):
+            return []
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in self._MAP_METHODS:
+            return []
+        findings = []
+        arguments = list(node.args) + [kw.value for kw in node.keywords]
+        for arg in arguments:
+            if isinstance(arg, ast.Lambda):
+                findings.append(ctx.finding(
+                    "P201", arg,
+                    f"lambda passed to .{func.attr}() cannot be pickled — "
+                    "the process backend ships tasks to workers; use a "
+                    "module-level function or functools.partial",
+                ))
+            elif isinstance(arg, ast.Name) and ctx.name_is_nested_callable(arg.id):
+                findings.append(ctx.finding(
+                    "P201", arg,
+                    f"nested function {arg.id!r} passed to .{func.attr}() "
+                    "cannot be pickled — the process backend ships tasks "
+                    "to workers; hoist it to module level or use a "
+                    "picklable callable class",
+                ))
+        return findings

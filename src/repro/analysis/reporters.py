@@ -1,0 +1,69 @@
+"""Text and JSON renderings of a lint run."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.rules import RULES
+
+__all__ = ["render_text", "render_json"]
+
+
+def _summary_counts(report) -> dict:
+    per_rule: dict[str, int] = {}
+    for finding in report.findings:
+        per_rule[finding.rule] = per_rule.get(finding.rule, 0) + 1
+    return {
+        "files": report.n_files,
+        "active": len(report.findings),
+        "baselined": len(report.baselined),
+        "suppressed": len(report.suppressed),
+        "per_rule": dict(sorted(per_rule.items())),
+    }
+
+
+def render_text(report, *, verbose: bool = False) -> str:
+    """One line per active finding plus a summary tail.
+
+    ``verbose`` additionally lists baselined findings (marked) so a
+    human can audit what the baseline is absorbing.
+    """
+    lines = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule} "
+            f"[{RULES[finding.rule].name}] {finding.message}"
+        )
+    if verbose:
+        for finding in report.baselined:
+            lines.append(
+                f"{finding.location()}: {finding.rule} (baselined) "
+                f"{finding.message}"
+            )
+    counts = _summary_counts(report)
+    lines.append(
+        f"{counts['active']} finding(s) in {counts['files']} file(s) "
+        f"({counts['baselined']} baselined, "
+        f"{counts['suppressed']} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    data = {
+        "version": 1,
+        "summary": _summary_counts(report),
+        "findings": [f.as_dict() for f in report.findings],
+        "baselined": [f.as_dict() for f in report.baselined],
+        "suppressed": [f.as_dict() for f in report.suppressed],
+        "rules": {
+            rule.id: {
+                "name": rule.name,
+                "family": rule.family,
+                "summary": rule.summary,
+            }
+            for rule in sorted(RULES.values(), key=lambda r: r.id)
+        },
+    }
+    return json.dumps(data, indent=2) + "\n"

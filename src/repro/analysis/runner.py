@@ -1,0 +1,200 @@
+"""Drive the analyzer over files and trees; apply suppressions and
+baselines; decide the gate."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.concurrency import LockDisciplineChecker
+from repro.analysis.determinism import (
+    RngChecker,
+    UnorderedIterationChecker,
+    WallClockChecker,
+)
+from repro.analysis.engine import analyze_source
+from repro.analysis.findings import Finding
+from repro.analysis.parallel import PicklabilityChecker
+from repro.analysis.suppressions import collect_suppressions
+
+__all__ = ["LintReport", "default_checkers", "lint_source", "run_lint"]
+
+
+def default_checkers():
+    """One fresh instance of every shipped checker."""
+    return [
+        RngChecker(),
+        WallClockChecker(),
+        UnorderedIterationChecker(),
+        PicklabilityChecker(),
+        LockDisciplineChecker(),
+    ]
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run.
+
+    ``findings`` holds active findings only; suppressed and baselined
+    ones are kept separately so reporters can show the full picture.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def gate_failures(self, gate_prefixes=None) -> list[Finding]:
+        """Active findings under the gated path prefixes (all active
+        findings when ``gate_prefixes`` is None)."""
+        if gate_prefixes is None:
+            return list(self.findings)
+        prefixes = [p.rstrip("/").replace(os.sep, "/") for p in gate_prefixes]
+        return [
+            finding
+            for finding in self.findings
+            if any(
+                finding.path == p or finding.path.startswith(p + "/")
+                for p in prefixes
+            )
+        ]
+
+
+def _lint_one(source: str, path: str, checkers) -> tuple[list[Finding], list[Finding]]:
+    """Analyze one module; returns ``(findings, unused-suppression
+    findings)`` with inline suppressions already applied."""
+    try:
+        raw = analyze_source(source, path, checkers)
+    except SyntaxError as exc:
+        return (
+            [Finding(
+                rule="E999",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )],
+            [],
+        )
+    suppressions = collect_suppressions(source)
+    for finding in raw:
+        suppression = suppressions.get(finding.line)
+        if suppression is not None and suppression.covers(finding.rule):
+            finding.suppressed = True
+            suppression.used = True
+    unused = [
+        Finding(
+            rule="U901",
+            path=path,
+            line=suppression.line,
+            col=0,
+            message=(
+                "lint-ignore comment suppresses nothing on this line — "
+                "remove it"
+            ),
+            snippet=(
+                source.splitlines()[suppression.line - 1].strip()
+                if suppression.line <= len(source.splitlines())
+                else ""
+            ),
+        )
+        for suppression in suppressions.values()
+        if not suppression.used
+    ]
+    return raw, unused
+
+
+def _iter_python_files(paths):
+    """Yield ``(file path, display root)`` for every ``.py`` under
+    ``paths``, files sorted for deterministic report order."""
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [
+                    d for d in dirnames
+                    if d not in ("__pycache__", ".git")
+                ]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        files.append(os.path.join(dirpath, filename))
+        elif path.endswith(".py"):
+            files.append(path)
+        else:
+            raise FileNotFoundError(
+                f"lint target {path!r} is neither a directory nor a .py file"
+            )
+    return sorted(dict.fromkeys(files))
+
+
+def _display_path(file_path: str, root: str | None) -> str:
+    if root is not None:
+        try:
+            relative = os.path.relpath(file_path, root)
+        except ValueError:  # different drive (windows)
+            relative = file_path
+        if not relative.startswith(".."):
+            file_path = relative
+    return file_path.replace(os.sep, "/")
+
+
+def lint_source(source: str, path: str = "<string>") -> LintReport:
+    """Analyze one in-memory module — the fixture-test entry point."""
+    findings, unused = _lint_one(source, path, default_checkers())
+    findings += unused
+    findings.sort(key=Finding.sort_key)
+    return LintReport(
+        findings=[f for f in findings if f.active],
+        suppressed=[f for f in findings if f.suppressed],
+        baselined=[],
+        n_files=1,
+    )
+
+
+def run_lint(
+    paths,
+    *,
+    baseline: Baseline | None = None,
+    root: str | None = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths``.
+
+    Parameters
+    ----------
+    paths:
+        Files or directory trees to analyze.
+    baseline:
+        Optional committed :class:`Baseline`; matching findings are
+        demoted to ``baselined`` and do not gate.
+    root:
+        Directory findings' paths are reported relative to (default:
+        the current working directory) — baseline entries must use the
+        same convention.
+    """
+    if root is None:
+        root = os.getcwd()
+    all_findings: list[Finding] = []
+    n_files = 0
+    for file_path in _iter_python_files(paths):
+        with open(file_path, encoding="utf-8") as handle:
+            source = handle.read()
+        display = _display_path(file_path, root)
+        findings, unused = _lint_one(source, display, default_checkers())
+        all_findings.extend(findings)
+        all_findings.extend(unused)
+        n_files += 1
+    if baseline is not None:
+        baseline.apply([f for f in all_findings if not f.suppressed])
+    all_findings.sort(key=Finding.sort_key)
+    return LintReport(
+        findings=[f for f in all_findings if f.active],
+        suppressed=[f for f in all_findings if f.suppressed],
+        baselined=[f for f in all_findings if f.baselined],
+        n_files=n_files,
+    )

@@ -318,6 +318,28 @@ class TreeShapExplainer(Explainer):
 
     # ------------------------------------------------------------------
     def explain(self, x) -> Explanation:
+        """Attributions for one instance.
+
+        Routed through :meth:`explain_batch` as a 1-row batch, so the
+        single-row path exercises the same vectorized kernel as fleet
+        triage (one code path to trust, and the packed snapshot is
+        shared across calls).  Models without a packed form — or a
+        class column no tree carries — fall back to the per-tree
+        recursion (:meth:`_explain_recursion`).
+        """
+        x = np.asarray(x, dtype=float).ravel()
+        d = len(self.feature_names)
+        if len(x) != d:
+            raise ValueError(f"x has {len(x)} features, expected {d}")
+        packed, _ = self._packed_column()
+        if packed is None:
+            return self._explain_recursion(x)
+        return self.explain_batch(x[np.newaxis, :])[0]
+
+    def _explain_recursion(self, x) -> Explanation:
+        """Per-tree recursive TreeSHAP (:func:`tree_shap_values`) — the
+        reference implementation the packed kernel must reproduce, and
+        the fallback for models without a packed form."""
         x = np.asarray(x, dtype=float).ravel()
         d = len(self.feature_names)
         if len(x) != d:

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
 from repro.ml.packed import PackedModelMixin
-from repro.utils.rng import check_random_state
+from repro.utils.rng import Generator, check_random_state
 from repro.utils.validation import check_array, check_fitted, check_X_y
 
 __all__ = ["TreeStructure", "DecisionTreeClassifier", "DecisionTreeRegressor"]
@@ -163,7 +163,7 @@ class _TreeBuilder:
         min_samples_split: int,
         min_samples_leaf: int,
         max_features,
-        rng: np.random.Generator,
+        rng: Generator,
     ):
         self.is_classifier = is_classifier
         self.n_classes = n_classes

@@ -9,7 +9,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["check_random_state", "spawn_rngs", "spawn_seeds"]
+__all__ = ["Generator", "check_random_state", "spawn_rngs", "spawn_seeds"]
+
+#: The generator type every helper here returns, re-exported so other
+#: modules can annotate and isinstance-check without spelling
+#: ``np.random`` themselves — this module is the one sanctioned home of
+#: that surface (enforced by ``repro lint`` rule D102).
+Generator = np.random.Generator
 
 
 def check_random_state(random_state=None) -> np.random.Generator:

@@ -1,0 +1,120 @@
+"""The ``repro lint`` subcommand: exit codes, formats, gating, and the
+baseline update workflow — driven through ``repro.cli.main`` exactly as
+CI invokes it.
+"""
+
+import json
+from textwrap import dedent
+
+import pytest
+
+from repro.cli import main
+
+BAD_SOURCE = dedent("""\
+    import numpy as np
+
+    def fresh():
+        return np.random.default_rng()
+""")
+
+CLEAN_SOURCE = dedent("""\
+    from repro.utils.rng import check_random_state
+
+    def make(seed):
+        return check_random_state(seed)
+""")
+
+
+@pytest.fixture()
+def lint_tree(tmp_path, monkeypatch):
+    """A tiny project: ``pkg/`` with one violation, ``clean/`` without.
+    The working directory is moved there so reported paths are the
+    relative ones a baseline would carry."""
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "bad.py").write_text(BAD_SOURCE)
+    (tmp_path / "clean").mkdir()
+    (tmp_path / "clean" / "ok.py").write_text(CLEAN_SOURCE)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_findings_gate_by_default(self, lint_tree, capsys):
+        assert main(["lint", "pkg"]) == 1
+        out = capsys.readouterr().out
+        assert "D101" in out
+        assert "pkg/bad.py" in out
+
+    def test_clean_tree_exits_zero(self, lint_tree, capsys):
+        assert main(["lint", "clean"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_report_only_never_fails(self, lint_tree, capsys):
+        assert main(["lint", "pkg", "--report-only"]) == 0
+        assert "D101" in capsys.readouterr().out
+
+    def test_gate_scopes_the_failure(self, lint_tree, capsys):
+        # findings in pkg are reported but only clean/ gates
+        assert main(["lint", "pkg", "clean", "--gate", "clean"]) == 0
+        assert main(["lint", "pkg", "clean", "--gate", "pkg"]) == 1
+
+
+class TestJsonFormat:
+    def test_report_structure(self, lint_tree, capsys):
+        main(["lint", "pkg", "--format", "json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["version"] == 1
+        assert data["summary"]["active"] == 1
+        assert data["summary"]["per_rule"] == {"D101": 1}
+        assert data["findings"][0]["path"] == "pkg/bad.py"
+        assert "D101" in data["rules"]
+
+    def test_out_writes_artifact(self, lint_tree, capsys):
+        main(["lint", "pkg", "--format", "json", "--out", "report.json"])
+        on_disk = json.loads((lint_tree / "report.json").read_text())
+        assert on_disk == json.loads(capsys.readouterr().out)
+
+
+class TestBaselineWorkflow:
+    def test_update_then_gate_clean(self, lint_tree, capsys):
+        assert main([
+            "lint", "pkg",
+            "--baseline", "baseline.json", "--update-baseline",
+        ]) == 0
+        assert (lint_tree / "baseline.json").exists()
+        capsys.readouterr()
+        # grandfathered: same tree now exits 0, finding shows as baselined
+        assert main(["lint", "pkg", "--baseline", "baseline.json"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_new_finding_still_gates_with_baseline(self, lint_tree):
+        main([
+            "lint", "pkg",
+            "--baseline", "baseline.json", "--update-baseline",
+        ])
+        (lint_tree / "pkg" / "worse.py").write_text(
+            "import time\n\ndef t():\n    return time.time()\n"
+        )
+        assert main(["lint", "pkg", "--baseline", "baseline.json"]) == 1
+
+    def test_update_requires_baseline_path(self, lint_tree, capsys):
+        assert main(["lint", "pkg", "--update-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_missing_baseline_file_is_tolerated(self, lint_tree):
+        """Pointing --baseline at a not-yet-created file simply means
+        no grandfathering (the bootstrap case)."""
+        assert main(["lint", "pkg", "--baseline", "absent.json"]) == 1
+
+
+class TestStandaloneEntryPoint:
+    def test_python_m_repro_analysis_matches_cli(self, lint_tree, capsys):
+        """``python -m repro.analysis`` is the numpy-free twin of
+        ``repro lint`` — same arguments, same report, same exit code
+        (the form the CI lint job runs)."""
+        from repro.analysis.__main__ import main as analysis_main
+
+        assert analysis_main(["pkg", "--format", "json"]) == 1
+        standalone = capsys.readouterr().out
+        assert main(["lint", "pkg", "--format", "json"]) == 1
+        assert capsys.readouterr().out == standalone

@@ -1,0 +1,93 @@
+"""Fixture sweep for the picklability rule (P201).
+
+The process backend pickles every task it ships to a worker; lambdas
+and nested functions survive the serial and thread backends but
+explode under ``--backend process``.  P201 surfaces that latent
+failure statically at the executor-map call sites.
+"""
+
+from textwrap import dedent
+
+from repro.analysis import lint_source
+
+
+def rules_of(report):
+    return [f.rule for f in report.findings]
+
+
+class TestP201UnpicklableTask:
+    def test_lambda_into_map_fires(self):
+        report = lint_source(dedent("""\
+            def run(executor, items):
+                return list(executor.map(lambda x: x + 1, items))
+        """))
+        assert "P201" in rules_of(report)
+
+    def test_lambda_into_map_seeded_fires(self):
+        report = lint_source(dedent("""\
+            def run(executor, items):
+                return executor.map_seeded(lambda x, seed: x, items, seeds=[1])
+        """))
+        assert "P201" in rules_of(report)
+
+    def test_lambda_keyword_argument_fires(self):
+        report = lint_source(dedent("""\
+            def run(executor, items):
+                return executor.map(func=lambda x: x, iterable=items)
+        """))
+        assert "P201" in rules_of(report)
+
+    def test_nested_function_fires(self):
+        report = lint_source(dedent("""\
+            def run(executor, items):
+                def task(x):
+                    return x + 1
+                return list(executor.map(task, items))
+        """))
+        assert "P201" in rules_of(report)
+
+    def test_module_level_function_passes(self):
+        report = lint_source(dedent("""\
+            def task(x):
+                return x + 1
+
+            def run(executor, items):
+                return list(executor.map(task, items))
+        """))
+        assert report.clean
+
+    def test_bound_method_passes(self):
+        report = lint_source(dedent("""\
+            def run(executor, explainer, chunks):
+                return list(executor.map(explainer.explain_batch, chunks))
+        """))
+        assert report.clean
+
+    def test_partial_of_module_function_passes(self):
+        report = lint_source(dedent("""\
+            from functools import partial
+
+            def task(x, offset):
+                return x + offset
+
+            def run(executor, items):
+                return list(executor.map(partial(task, offset=2), items))
+        """))
+        assert report.clean
+
+    def test_builtin_map_is_not_flagged(self):
+        """Only *method* calls named map/imap/map_seeded match — the
+        builtin ``map()`` never ships anything to a worker."""
+        report = lint_source(dedent("""\
+            def run(items):
+                return list(map(lambda x: x + 1, items))
+        """))
+        assert report.clean
+
+    def test_suppressed(self):
+        report = lint_source(dedent("""\
+            def run(executor, items):
+                return list(executor.map(lambda x: x, items))  # repro: lint-ignore[P201] serial-only test
+        """))
+        assert report.clean
+        assert any(f.rule == "P201" for f in report.suppressed)

@@ -1,0 +1,157 @@
+"""Suppression comments, hygiene (U901), syntax errors (E999), and the
+committed-baseline machinery (load/dump, count semantics, carry-over).
+"""
+
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, lint_source
+from repro.analysis.suppressions import collect_suppressions
+
+
+class TestSuppressionParsing:
+    def test_targeted_ids_and_reason(self):
+        supp = collect_suppressions(
+            "x = 1  # repro: lint-ignore[D101,D103] fixture reasons\n"
+        )
+        assert supp[1].rule_ids == frozenset({"D101", "D103"})
+        assert supp[1].reason == "fixture reasons"
+
+    def test_bare_form_covers_everything_but_u901(self):
+        supp = collect_suppressions("x = 1  # repro: lint-ignore\n")
+        assert supp[1].rule_ids is None
+        assert supp[1].covers("D104")
+        assert supp[1].covers("C301")
+        assert not supp[1].covers("U901")
+
+    def test_empty_bracket_covers_nothing(self):
+        supp = collect_suppressions("x = 1  # repro: lint-ignore[]\n")
+        assert not supp[1].covers("D101")
+
+    def test_marker_inside_string_is_ignored(self):
+        """tokenize separates real comments from string contents, so
+        analyzer fixtures quoting the marker never self-suppress."""
+        supp = collect_suppressions(
+            'text = "# repro: lint-ignore[D101]"\n'
+        )
+        assert supp == {}
+
+    def test_ordinary_comment_is_ignored(self):
+        assert collect_suppressions("x = 1  # just a note\n") == {}
+
+
+class TestSuppressionApplication:
+    def test_wrong_id_leaves_finding_active_and_flags_unused(self):
+        report = lint_source(dedent("""\
+            import time
+
+            def run():
+                return time.perf_counter()  # repro: lint-ignore[D101] wrong rule
+        """))
+        rules = [f.rule for f in report.findings]
+        assert "D103" in rules
+        assert "U901" in rules
+
+    def test_bare_comment_suppresses_all_rules_on_line(self):
+        report = lint_source(dedent("""\
+            import numpy as np
+
+            rng = np.random.default_rng()  # repro: lint-ignore
+        """))
+        assert report.clean
+        assert len(report.suppressed) == 1
+
+    def test_unused_suppression_on_clean_line_is_u901(self):
+        report = lint_source("x = 1  # repro: lint-ignore[D101]\n")
+        assert [f.rule for f in report.findings] == ["U901"]
+
+    def test_u901_cannot_suppress_itself(self):
+        report = lint_source("x = 1  # repro: lint-ignore[U901]\n")
+        assert [f.rule for f in report.findings] == ["U901"]
+
+
+class TestSyntaxError:
+    def test_unparsable_source_reports_e999(self):
+        report = lint_source("def broken(:\n    pass\n")
+        assert [f.rule for f in report.findings] == ["E999"]
+        assert "syntax error" in report.findings[0].message
+
+
+SOURCE_TWO_HITS = """\
+import time
+
+def a():
+    return time.perf_counter()
+
+def b():
+    return time.perf_counter()
+"""
+
+
+class TestBaseline:
+    def test_apply_marks_up_to_count(self):
+        report = lint_source(SOURCE_TWO_HITS, path="pkg/mod.py")
+        findings = list(report.findings)
+        assert len(findings) == 2
+        baseline = Baseline(entries=[BaselineEntry(
+            path="pkg/mod.py",
+            rule="D103",
+            snippet="return time.perf_counter()",
+            count=1,
+        )])
+        baseline.apply(findings)
+        assert [f.baselined for f in findings] == [True, False]
+
+    def test_snippet_matching_is_line_number_independent(self):
+        """Shifting the finding down the file still matches: the key is
+        (path, rule, snippet), never the line."""
+        shifted = "# padding\n# padding\n" + SOURCE_TWO_HITS
+        report = lint_source(shifted, path="pkg/mod.py")
+        findings = list(report.findings)
+        baseline = Baseline(entries=[BaselineEntry(
+            path="pkg/mod.py",
+            rule="D103",
+            snippet="return time.perf_counter()",
+            count=2,
+        )])
+        baseline.apply(findings)
+        assert all(f.baselined for f in findings)
+
+    def test_different_path_never_matches(self):
+        report = lint_source(SOURCE_TWO_HITS, path="pkg/other.py")
+        findings = list(report.findings)
+        baseline = Baseline(entries=[BaselineEntry(
+            path="pkg/mod.py",
+            rule="D103",
+            snippet="return time.perf_counter()",
+            count=2,
+        )])
+        baseline.apply(findings)
+        assert not any(f.baselined for f in findings)
+
+    def test_round_trip_and_justification_carry_over(self, tmp_path):
+        report = lint_source(SOURCE_TWO_HITS, path="pkg/mod.py")
+        first = Baseline.from_findings(report.findings, note="ledger")
+        target = tmp_path / "baseline.json"
+        first.dump(target)
+        loaded = Baseline.load(target)
+        assert loaded.note == "ledger"
+        assert [e.key() for e in loaded.entries] == [
+            e.key() for e in first.entries
+        ]
+        # hand-edit a justification, regenerate: the reviewed text stays
+        loaded.entries[0].justification = "reviewed: presentation only"
+        regenerated = Baseline.from_findings(
+            report.findings, previous=loaded
+        )
+        assert regenerated.entries[0].justification == (
+            "reviewed: presentation only"
+        )
+        assert regenerated.note == "ledger"
+
+    def test_unsupported_version_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            Baseline.load(target)

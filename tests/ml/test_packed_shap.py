@@ -2,10 +2,12 @@
 
 ISSUE 6 tentpole contract: the vectorized kernels in
 :mod:`repro.ml.packed_shap` must agree with the legacy per-row
-recursions (``tree_shap_values`` and ``tree_shap_interventional``,
-reached through the explainers' base-class ``explain_batch`` loop) to
+recursions (``tree_shap_values`` and ``tree_shap_interventional``) to
 <= 1e-10 on **every** supported model shape — the kernels are a faster
-arrangement of the same games, never an approximation.  The sweep
+arrangement of the same games, never an approximation.  Since the
+path-dependent explainer's single-row ``explain`` now rides the packed
+kernel itself, ``legacy_batch`` builds its reference batches from the
+recursion method directly.  The sweep
 mirrors ``test_packed.py``'s adversarial shapes: stumps, pure leaves,
 unbounded depth, missing-class bootstraps, subsampled boosting,
 single-row and single-background batches, and pickle round-trips.
@@ -20,7 +22,7 @@ from repro.core.explainers import (
     InterventionalTreeShapExplainer,
     TreeShapExplainer,
 )
-from repro.core.explainers.base import Explainer
+from repro.core.explainers.base import BatchExplanation
 from repro.core.explainers.shap_tree import tree_shap_values
 from repro.ml import (
     DecisionTreeClassifier,
@@ -43,9 +45,15 @@ def _toy_data(seed=0, n=300, d=6):
 
 
 def legacy_batch(explainer, X):
-    """The base-class loop over ``explain`` — the per-row recursion
-    every vectorized override must reproduce."""
-    return Explainer.explain_batch(explainer, X)
+    """A batch built row-by-row from the per-instance recursion — the
+    reference every vectorized override must reproduce.  Uses
+    ``_explain_recursion`` where the explainer routes ``explain``
+    through the packed kernel (path-dependent TreeSHAP), and the plain
+    ``explain`` loop otherwise (interventional)."""
+    explain_one = getattr(explainer, "_explain_recursion", explainer.explain)
+    return BatchExplanation.from_explanations(
+        [explain_one(row) for row in X], method=explainer.method_name
+    )
 
 
 def assert_batches_equal(vectorized, legacy):
@@ -179,6 +187,31 @@ class TestPathDependentEquality:
         single = explainer.explain(X_test[0])
         np.testing.assert_allclose(batch.values[0], single.values, atol=ATOL)
         assert batch.predictions[0] == pytest.approx(single.prediction, abs=ATOL)
+
+    def test_single_row_explain_rides_packed_kernel(self, fitted_rf, sla_split):
+        """``explain`` is a 1-row batch through the packed kernel: it
+        carries the batch's ``vectorized`` marker and agrees with the
+        per-tree recursion to the sweep tolerance."""
+        _, X_test, _, _ = sla_split
+        explainer = TreeShapExplainer(fitted_rf, class_index=1)
+        single = explainer.explain(X_test[0])
+        assert single.extras.get("vectorized") is True
+        recursion = explainer._explain_recursion(X_test[0])
+        np.testing.assert_allclose(single.values, recursion.values, atol=ATOL)
+        assert single.prediction == pytest.approx(
+            recursion.prediction, abs=ATOL
+        )
+        assert single.base_value == recursion.base_value
+
+    def test_single_row_explain_falls_back_without_packed_column(self):
+        """A class column no tree carries skips the kernel: ``explain``
+        returns the recursion's skip-every-component zeros."""
+        X, y = _toy_data(43)
+        forest = RandomForestClassifier(n_estimators=4, random_state=0).fit(X, y)
+        explainer = TreeShapExplainer(forest, class_index=5)
+        single = explainer.explain(X[0])
+        assert "vectorized" not in single.extras
+        assert np.array_equal(single.values, np.zeros(X.shape[1]))
 
     def test_empty_batch(self, fitted_rf, sla_split):
         _, X_test, _, _ = sla_split
