@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands mirror the library's workflow::
+Nine subcommands mirror the library's workflow::
 
     repro simulate      --epochs 2000 --seed 7 --out trace.npz
     repro train         --epochs 3000 --seed 7 --model random_forest
@@ -8,6 +8,7 @@ Eight subcommands mirror the library's workflow::
     repro explain-batch --epochs 3000 --seed 7 --limit 32
     repro scenarios     list | run --scenarios baseline,fault-storm ...
     repro stream        run --scenario fault-storm --window 64 ...
+    repro serve         run --tenants 4 --epochs 256 ...
     repro lint          src tests --baseline lint-baseline.json
     repro validate
 
@@ -20,14 +21,19 @@ and background evaluation — the fleet-triage fast path); ``scenarios``
 lists the workload catalog and sweeps the scenario × model × explainer
 matrix; ``stream`` runs the online diagnosis engine over a scenario's
 telemetry as it is generated (sliding windows, cadenced refits,
-Page–Hinkley drift alarms — see ``docs/streaming.md``); ``lint`` runs
+Page–Hinkley drift alarms — see ``docs/streaming.md``); ``serve``
+multiplexes many tenant streams through one
+:class:`~repro.serve.DiagnosisService` — shared executor and explainer
+cache, per-tenant seeds, backpressure, and snapshot/restore
+(``--snapshot-epoch``/``--restore``; see ``docs/serving.md``);
+``lint`` runs
 the :mod:`repro.analysis` static analyzer over source trees, enforcing
 the determinism / picklability / lock-discipline contracts (see
 ``docs/linting.md``); ``validate`` runs the explainers against
 closed-form ground truth (a smoke test for installations).
 
-The fleet-scale commands (``explain-batch``, ``scenarios run``, and
-``stream run``) accept ``--workers N --backend
+The fleet-scale commands (``explain-batch``, ``scenarios run``,
+``stream run``, and ``serve run``) accept ``--workers N --backend
 {serial,thread,process}`` to fan work out across an execution backend
 (:mod:`repro.core.executor`); results are identical to the serial run
 for a fixed ``--seed``.
@@ -225,6 +231,82 @@ def build_parser() -> argparse.ArgumentParser:
              "across runs and backends)",
     )
     _add_parallel_args(srun)
+
+    serve = sub.add_parser(
+        "serve",
+        help="multi-tenant diagnosis service over shared infrastructure",
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+    vrun = serve_sub.add_parser(
+        "run",
+        help="drive N interleaved tenant sessions through one service",
+    )
+    vrun.add_argument(
+        "--tenants", type=_positive_int, default=4,
+        help="number of tenant sessions (ignored with --restore, which "
+             "resumes the snapshot's sessions)",
+    )
+    vrun.add_argument(
+        "--scenarios", default="fault-storm,bursty-traffic,baseline",
+        help="comma-separated scenario names, assigned to tenants "
+             "round-robin by tenant index (see: repro scenarios list)",
+    )
+    vrun.add_argument(
+        "--epochs", type=_positive_int, default=256,
+        help="streaming horizon per tenant, in epochs",
+    )
+    vrun.add_argument(
+        "--window", type=_positive_int, default=64,
+        help="epochs per diagnosis window",
+    )
+    vrun.add_argument(
+        "--refit-every", type=_positive_int, default=2,
+        help="refit each tenant's model + explainer every N windows",
+    )
+    vrun.add_argument(
+        "--explain-per-window", type=_nonnegative_int, default=4,
+        help="cap on violation epochs diagnosed per window (0 = monitor only)",
+    )
+    vrun.add_argument(
+        "--batch-epochs", type=_positive_int, default=None,
+        help="epoch-batch granularity of each tenant's stream "
+             "(default: --window; never changes results)",
+    )
+    vrun.add_argument(
+        "--max-pending", type=_positive_int, default=None,
+        help="per-session ingest budget in epochs before submissions "
+             "are rejected with backpressure (default: 4x --window)",
+    )
+    vrun.add_argument(
+        "--method", default="kernel_shap",
+        help="explainer (kernel_shap, lime, sampling_shapley, ...)",
+    )
+    vrun.add_argument(
+        "--model", choices=_MODEL_NAMES, default="logistic_regression"
+    )
+    vrun.add_argument("--seed", type=int, default=0)
+    vrun.add_argument(
+        "--snapshot-epoch", type=_positive_int, default=None,
+        help="stop every tenant once it has seen this many epochs (must "
+             "be a multiple of the batch granularity) and write the "
+             "service snapshot instead of reports; requires --snapshot-out",
+    )
+    vrun.add_argument(
+        "--snapshot-out", default=None,
+        help="path the --snapshot-epoch snapshot is pickled to",
+    )
+    vrun.add_argument(
+        "--restore", default=None,
+        help="resume from a snapshot written by --snapshot-out; output "
+             "is byte-identical (under --no-timing) to a run that was "
+             "never interrupted",
+    )
+    vrun.add_argument(
+        "--no-timing", action="store_true",
+        help="drop wall-clock and cache-statistics output (reports "
+             "become byte-comparable across runs, backends, restarts)",
+    )
+    _add_parallel_args(vrun)
 
     lint = sub.add_parser(
         "lint",
@@ -531,6 +613,135 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro.core.explainers import EXPLAINER_METHODS
+    from repro.datasets import stream_scenario_telemetry
+    from repro.nfv.scenarios import list_scenarios
+    from repro.serve import (
+        DiagnosisService,
+        interleave,
+        load_snapshot,
+        save_snapshot,
+    )
+
+    scenarios = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    if not scenarios:
+        print("need at least one scenario")
+        return 1
+    unknown = sorted(set(scenarios) - set(list_scenarios()))
+    if unknown:
+        print(f"unknown scenarios {unknown}; see: repro scenarios list")
+        return 1
+    if args.method not in EXPLAINER_METHODS:
+        print(
+            f"unknown explainer {args.method!r}; choose from "
+            f"{', '.join(EXPLAINER_METHODS)}"
+        )
+        return 1
+    batch_epochs = args.batch_epochs or args.window
+    max_pending = args.max_pending or max(4 * args.window, batch_epochs)
+    if batch_epochs > max_pending:
+        print(
+            f"--batch-epochs {batch_epochs} exceeds --max-pending "
+            f"{max_pending}: every submission would be rejected"
+        )
+        return 1
+    if args.snapshot_epoch is not None:
+        if not args.snapshot_out:
+            print("--snapshot-epoch requires --snapshot-out")
+            return 1
+        if args.snapshot_epoch % batch_epochs:
+            print(
+                f"--snapshot-epoch must be a multiple of the batch "
+                f"granularity ({batch_epochs}) so the cut falls on a "
+                "batch boundary"
+            )
+            return 1
+    if args.restore and args.snapshot_epoch is not None:
+        print("--restore and --snapshot-epoch are mutually exclusive")
+        return 1
+
+    factory = _model_factories()[args.model]
+    start = time.perf_counter()  # repro: lint-ignore[D103] opt-out via --no-timing
+    if args.restore:
+        service = DiagnosisService.restore(
+            load_snapshot(args.restore),
+            model_factory=factory,
+            backend=args.backend,
+            workers=args.workers,
+        )
+    else:
+        service = DiagnosisService(
+            factory,
+            max_pending_epochs=max_pending,
+            backend=args.backend,
+            workers=args.workers,
+            random_state=args.seed,
+            window_epochs=args.window,
+            refit_every=args.refit_every,
+            explainer_method=args.method,
+            explain_per_window=args.explain_per_window,
+        )
+        for i in range(args.tenants):
+            service.open_session(f"tenant-{i}")
+
+    with service:
+        streams = {}
+        for name in service.session_names:
+            session = service.session(name)
+            scenario = scenarios[session.tenant_index % len(scenarios)]
+            stream = stream_scenario_telemetry(
+                scenario,
+                args.epochs,
+                batch_epochs=batch_epochs,
+                random_state=session.seed,
+            )
+            consumed = session.epochs_seen
+            if consumed:
+                # resume: regenerate the tenant's deterministic stream
+                # and drop the batches the snapshot already absorbed
+                stream = (b for b in stream if b.start_epoch >= consumed)
+            streams[name] = stream
+        interleave(service, streams, until_epoch=args.snapshot_epoch)
+
+        if args.snapshot_epoch is not None:
+            save_snapshot(service.snapshot(), args.snapshot_out)
+            print(
+                f"snapshot of {len(service.session_names)} sessions at "
+                f"epoch {args.snapshot_epoch} -> {args.snapshot_out}"
+            )
+            return 0
+
+        service.flush_all()
+        elapsed = time.perf_counter() - start  # repro: lint-ignore[D103] opt-out via --no-timing
+        total_windows = 0
+        for name in service.session_names:
+            session = service.session(name)
+            scenario = scenarios[session.tenant_index % len(scenarios)]
+            report = session.report()
+            total_windows += len(report.windows)
+            print(f"=== {name} [{scenario}] seed={session.seed} ===")
+            print(report.format_table(timing=not args.no_timing))
+            print()
+        backend = service.executor.backend
+        footer = (
+            f"{len(service.session_names)} sessions, {total_windows} "
+            f"windows, {args.epochs} epochs each, "
+            f"seed={service.random_state}, backend={backend}"
+            + (f" x{service.executor.workers}" if backend != "serial" else "")
+        )
+        if not args.no_timing:
+            stats = service.cache_stats()
+            footer += (
+                f"; {elapsed:.2f}s total; shared cache "
+                f"{stats['hits']} hits / {stats['misses']} misses"
+            )
+        print(footer)
+    return 0
+
+
 def _cmd_lint(args) -> int:
     return run_lint_command(args)
 
@@ -577,6 +788,7 @@ def main(argv=None) -> int:
         "explain-batch": _cmd_explain_batch,
         "scenarios": _cmd_scenarios,
         "stream": _cmd_stream,
+        "serve": _cmd_serve,
         "lint": _cmd_lint,
         "validate": _cmd_validate,
     }

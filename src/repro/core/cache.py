@@ -50,7 +50,8 @@ Every tier is LRU-bounded.  Per-function background entries and
 coalition designs have had per-key caps from the start
 (``max_backgrounds`` / ``max_designs``); ``max_total_entries``
 additionally bounds the *total* number of identity-tier background
-entries across all predict functions.  Without it a long
+entries across all predict functions, and ``max_token_entries``
+(defaulting to it) bounds the global token-fallback tier the same way.  Without it a long
 ``repro stream run`` session — which builds a fresh predict function
 at every refit window and keeps explainers (and therefore weak keys)
 alive in its sliding history — could grow the cache without limit;
@@ -113,6 +114,13 @@ class ExplainerCache:
         the least recently used entries are evicted once this cap is
         reached.  Eviction only ever forces a recompute on the next
         request — it cannot change returned values.
+    max_token_entries:
+        Total token-fallback entries kept across all cache tokens
+        (default: ``max_total_entries``).  The token tier is a *global*
+        tier — many tenants' refit models share it — so bounding it by
+        the per-function ``max_backgrounds`` cap (the pre-PR-8 bug)
+        made concurrent sessions thrash each other's entries and forced
+        process shards to cold-start their background sweeps.
     """
 
     def __init__(
@@ -121,12 +129,21 @@ class ExplainerCache:
         max_backgrounds: int = 32,
         max_designs: int = 64,
         max_total_entries: int = 256,
+        max_token_entries: int | None = None,
     ):
-        if max_backgrounds < 1 or max_designs < 1 or max_total_entries < 1:
+        if max_token_entries is None:
+            max_token_entries = max_total_entries
+        if (
+            max_backgrounds < 1
+            or max_designs < 1
+            or max_total_entries < 1
+            or max_token_entries < 1
+        ):
             raise ValueError("cache sizes must be >= 1")
         self.max_backgrounds = int(max_backgrounds)
         self.max_designs = int(max_designs)
         self.max_total_entries = int(max_total_entries)
+        self.max_token_entries = int(max_token_entries)
         # predict_fn (weak) -> OrderedDict[fingerprint -> predictions]
         self._backgrounds: "weakref.WeakKeyDictionary" = (
             weakref.WeakKeyDictionary()
@@ -144,6 +161,7 @@ class ExplainerCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.token_evictions = 0
 
     # -- background predictions ---------------------------------------
     @staticmethod
@@ -202,11 +220,18 @@ class ExplainerCache:
                 self.evictions += 1
 
     def _store_token(self, token: str, key: str, preds: np.ndarray) -> None:
-        """Insert/refresh a token-fallback entry (caller holds the lock)."""
+        """Insert/refresh a token-fallback entry (caller holds the lock).
+
+        The tier has its own LRU bound, ``max_token_entries`` — *not*
+        the per-function ``max_backgrounds`` cap: token entries are
+        global across every model in the process, and a multi-tenant
+        service refitting many sessions would otherwise thrash them.
+        """
         self._background_tokens[(token, key)] = preds
         self._background_tokens.move_to_end((token, key))
-        while len(self._background_tokens) > self.max_backgrounds:
+        while len(self._background_tokens) > self.max_token_entries:
             self._background_tokens.popitem(last=False)
+            self.token_evictions += 1
 
     def background_predictions(self, predict_fn, background) -> np.ndarray:
         """``predict_fn(background)`` memoized by function identity and
@@ -322,6 +347,52 @@ class ExplainerCache:
             return self._designs[key]
 
     # -- bookkeeping ---------------------------------------------------
+    def resize(
+        self,
+        *,
+        max_backgrounds: int | None = None,
+        max_designs: int | None = None,
+        max_total_entries: int | None = None,
+        max_token_entries: int | None = None,
+    ) -> None:
+        """Re-bound one or more tiers in place (omitted caps keep their
+        current value).
+
+        Shrinking a tier evicts its least recently used entries down to
+        the new cap immediately; growing takes effect on the next
+        insert.  Used by :class:`repro.serve.DiagnosisService` to size
+        the shared cross-session cache to the tenant count — eviction
+        only ever costs recomputes, never changes returned values.
+        """
+        with self._lock:
+            for name, value in (
+                ("max_backgrounds", max_backgrounds),
+                ("max_designs", max_designs),
+                ("max_total_entries", max_total_entries),
+                ("max_token_entries", max_token_entries),
+            ):
+                if value is None:
+                    continue
+                if value < 1:
+                    raise ValueError("cache sizes must be >= 1")
+                setattr(self, name, int(value))
+            while len(self._background_tokens) > self.max_token_entries:
+                self._background_tokens.popitem(last=False)
+                self.token_evictions += 1
+            while len(self._designs) > self.max_designs:
+                self._designs.popitem(last=False)
+            while len(self._bg_order) > self.max_total_entries:
+                (ref, old_key), _ = self._bg_order.popitem(last=False)
+                fn = ref()
+                if fn is None:
+                    continue
+                per_fn = self._backgrounds.get(fn)
+                if per_fn is not None and per_fn.pop(old_key, None) is not None:
+                    self.evictions += 1
+            # per-function max_backgrounds is enforced on insert: live
+            # oversize per-fn dicts shrink as their functions are next
+            # stored into, which preserves the hottest entries
+
     def clear(self) -> None:
         """Drop every cached entry and reset the hit/miss counters."""
         with self._lock:
@@ -332,6 +403,7 @@ class ExplainerCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.token_evictions = 0
 
     def stats(self) -> dict:
         """Hit/miss counters and current entry counts."""
@@ -341,6 +413,7 @@ class ExplainerCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "token_evictions": self.token_evictions,
                 "background_entries": n_bg,
                 "background_token_entries": len(self._background_tokens),
                 "design_entries": len(self._designs),

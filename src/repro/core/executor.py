@@ -28,8 +28,8 @@ generator state or completion order.  Under that contract
 ``tests/core/test_executor.py`` enforces.
 
 Pick a backend by name through :func:`get_executor` (``"auto"``
-resolves to serial for one worker and processes otherwise), and bound
-parallelism with :func:`available_workers`.
+resolves to serial for one worker or one usable CPU and to processes
+otherwise), and bound parallelism with :func:`available_workers`.
 """
 
 from __future__ import annotations
@@ -37,6 +37,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.utils.rng import spawn_seeds
@@ -142,13 +143,18 @@ class ThreadExecutor(Executor):
     def __init__(self, workers: int = 2):
         super().__init__(workers)
         self._pool: ThreadPoolExecutor | None = None
+        # pool creation is lazy and executors may be shared across
+        # client threads (the serve layer drives one executor from many
+        # sessions), so the create-once step must not race
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-exec"
-            )
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-exec"
+                )
+            return self._pool
 
     def imap(self, fn, *iterables):
         return self._ensure_pool().map(fn, *iterables)
@@ -174,22 +180,27 @@ class ProcessExecutor(Executor):
     def __init__(self, workers: int = 2):
         super().__init__(workers)
         self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            # fork on Linux: workers inherit sys.path and loaded modules
-            # for free.  Elsewhere (macOS forks crash under threaded
-            # BLAS; Windows has no fork) use the platform default —
-            # spawned workers re-import repro, inheriting PYTHONPATH.
-            use_fork = (
-                sys.platform.startswith("linux")
-                and "fork" in multiprocessing.get_all_start_methods()
-            )
-            context = multiprocessing.get_context("fork" if use_fork else None)
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context
-            )
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                # fork on Linux: workers inherit sys.path and loaded
+                # modules for free.  Elsewhere (macOS forks crash under
+                # threaded BLAS; Windows has no fork) use the platform
+                # default — spawned workers re-import repro, inheriting
+                # PYTHONPATH.
+                use_fork = (
+                    sys.platform.startswith("linux")
+                    and "fork" in multiprocessing.get_all_start_methods()
+                )
+                context = multiprocessing.get_context(
+                    "fork" if use_fork else None
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+            return self._pool
 
     def imap(self, fn, *iterables):
         # chunksize=1: tasks here are few and heavy (matrix shards,
@@ -210,15 +221,22 @@ def get_executor(backend: str = "auto", workers: int | None = None) -> Executor:
     backend:
         ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"``.
         ``"auto"`` resolves to serial when ``workers`` is ``None``/1
-        (no parallelism requested) and to processes otherwise —
-        processes are the safe default because they speed up both
+        (no parallelism requested) *or* when CPU affinity leaves this
+        process a single usable core — a process pool on one CPU pays
+        fork+pickle overhead for zero speedup, and results are
+        backend-identical anyway (the determinism suites prove it), so
+        the resolution is timing-only.  Otherwise ``auto`` picks
+        processes: the safe default because they speed up both
         interpreter-bound and numpy-bound work.
     workers:
         Worker budget.  ``None`` means 1 for ``auto``/``serial`` and
         :func:`available_workers` for the pooled backends.
     """
     if backend == "auto":
-        backend = "serial" if workers is None or workers <= 1 else "process"
+        if workers is None or workers <= 1 or available_workers() <= 1:
+            backend = "serial"
+        else:
+            backend = "process"
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; choose from "

@@ -396,6 +396,120 @@ class StreamingDiagnosisEngine:
         )
         self.windows: list[StreamWindow] = []
 
+    # -- snapshot / restore --------------------------------------------
+    def config_dict(self) -> dict:
+        """The engine's report-determining configuration as a plain dict.
+
+        Everything that, together with the consumed stream, fixes the
+        report bytes: window/refit geometry, explainer configuration,
+        history bounds, thresholds, drift-detector parameters, and the
+        frozen integer seed.  Deliberately excluded: ``model_factory``
+        (callables are not comparable — restoring code must supply an
+        equivalent factory) and ``backend``/``workers`` (timing-only;
+        reports are byte-identical across backends).  Used by
+        :meth:`load_state_dict` to refuse loading state into a
+        differently configured engine.
+        """
+        return {
+            "window_epochs": self.window_epochs,
+            "refit_every": self.refit_every,
+            "explainer_method": self.explainer_method,
+            "explainer_kwargs": dict(self.explainer_kwargs),
+            "explain_per_window": self.explain_per_window,
+            "max_history": self.max_history,
+            "min_train_epochs": self.min_train_epochs,
+            "threshold": self.threshold,
+            "violation_drift": dict(self._violation_drift_kwargs),
+            "attribution_drift": dict(self._attribution_drift_kwargs),
+            "random_state": self.random_state,
+        }
+
+    def state_dict(self) -> dict:
+        """Snapshot of everything needed to resume this engine exactly.
+
+        Returns ``{"config": config_dict(), "state": {...}}`` where the
+        state holds the pending epoch buffer, the sliding history, the
+        fitted pipeline, both drift detectors, the window index, the
+        attribution-drift reference profile, and the closed windows —
+        all picklable (the pipeline's packed ensembles are dropped on
+        pickle and rebuilt on unpickle, byte-identically).  The dict
+        shares references with the live engine: pickle it (or deep-copy
+        it) before the engine processes more batches.  The seed cache
+        is *not* included — it regrows from the frozen integer seed
+        with identical prefixes.
+
+        An engine restored via :meth:`load_state_dict` continues the
+        stream byte-identically to one that was never interrupted: the
+        determinism contract makes every window a pure function of
+        ``(configuration, history, window index)``, and all of those
+        are in the snapshot.
+        """
+        return {
+            "config": self.config_dict(),
+            "state": {
+                "pending_X": list(self._pending_X),
+                "pending_y": list(self._pending_y),
+                "history_X": self._history_X,
+                "history_y": self._history_y,
+                "feature_names": (
+                    list(self._feature_names)
+                    if self._feature_names is not None
+                    else None
+                ),
+                "epoch": self._epoch,
+                "window_index": self._window_index,
+                "windows_since_refit": self._windows_since_refit,
+                "pipeline": self._pipeline,
+                "test_accuracy": self._test_accuracy,
+                "previous_profile": self._previous_profile,
+                "violation_detector": self.violation_detector,
+                "attribution_detector": self.attribution_detector,
+                "windows": list(self.windows),
+            },
+        }
+
+    def load_state_dict(self, snapshot: dict) -> None:
+        """Install a :meth:`state_dict` snapshot, resuming its stream.
+
+        The snapshot's configuration must match this engine's
+        (:meth:`config_dict` equality) — loading drift state or a
+        fitted pipeline into a differently configured engine would
+        silently break the determinism contract, so a mismatch raises
+        ``ValueError`` naming the differing keys instead.
+        """
+        config, mine = snapshot["config"], self.config_dict()
+        if config != mine:
+            differing = [
+                key
+                for key in sorted(set(config) | set(mine))
+                if config.get(key) != mine.get(key)
+            ]
+            raise ValueError(
+                "snapshot configuration does not match this engine; "
+                f"differing keys: {differing}"
+            )
+        state = snapshot["state"]
+        self.reset()
+        self._pending_X = list(state["pending_X"])
+        self._pending_y = list(state["pending_y"])
+        self._pending_rows = int(sum(len(y) for y in self._pending_y))
+        self._history_X = state["history_X"]
+        self._history_y = state["history_y"]
+        self._feature_names = (
+            list(state["feature_names"])
+            if state["feature_names"] is not None
+            else None
+        )
+        self._epoch = int(state["epoch"])
+        self._window_index = int(state["window_index"])
+        self._windows_since_refit = int(state["windows_since_refit"])
+        self._pipeline = state["pipeline"]
+        self._test_accuracy = state["test_accuracy"]
+        self._previous_profile = state["previous_profile"]
+        self.violation_detector = state["violation_detector"]
+        self.attribution_detector = state["attribution_detector"]
+        self.windows = list(state["windows"])
+
     # ------------------------------------------------------------------
     def _window_seed(self, index: int) -> int:
         """Child seed of window ``index`` (see :func:`window_seeds`)."""
@@ -422,6 +536,23 @@ class StreamingDiagnosisEngine:
             raise ValueError(
                 f"batch features {values.shape} do not align with "
                 f"{len(labels)} labels"
+            )
+        # validate *before* the int64 cast below: float labels (0.3)
+        # would be silently truncated, and negatives / multi-class
+        # values only crash much later, deep inside np.bincount in
+        # _history_fittable, with no hint of which batch was bad
+        binary = np.isin(labels, (0, 1))
+        if not np.all(binary):
+            bad = np.unique(np.asarray(labels)[~binary])[:8]
+            start = getattr(batch, "start_epoch", None)
+            where = (
+                f"batch starting at epoch {start}"
+                if start is not None
+                else f"batch at stream offset {self._epoch + self._pending_rows}"
+            )
+            raise ValueError(
+                "sla_violation labels must be binary 0/1; "
+                f"{where} contains {bad.tolist()}"
             )
         if self._feature_names is None:
             self._feature_names = list(features.feature_names)
@@ -608,6 +739,40 @@ class StreamingDiagnosisEngine:
         return window
 
     # ------------------------------------------------------------------
+    @property
+    def pending_epochs(self) -> int:
+        """Epochs ingested but not yet closed into a window."""
+        return self._pending_rows
+
+    @property
+    def epochs_seen(self) -> int:
+        """Total epochs ingested over the engine's lifetime (windowed
+        plus pending)."""
+        return self._epoch + self._pending_rows
+
+    def ingest(self, batch) -> int:
+        """Buffer one epoch batch without closing any windows; returns
+        the pending epoch count.
+
+        The enqueue half of :meth:`process_batch`, split out so callers
+        that bound their queues (:class:`repro.serve.TenantSession`)
+        can admit telemetry and defer the expensive window processing —
+        or refuse admission entirely — as separate decisions.
+        """
+        self._ingest(batch)
+        return self._pending_rows
+
+    def process_pending(self, executor=None) -> list[StreamWindow]:
+        """Close every complete window currently in the pending buffer.
+
+        The drain half of :meth:`process_batch`; a trailing partial
+        window stays pending (see :meth:`flush`).
+        """
+        windows = []
+        while self._pending_rows >= self.window_epochs:
+            windows.append(self._process_window(self.window_epochs, executor))
+        return windows
+
     def process_batch(self, batch, executor=None) -> list[StreamWindow]:
         """Ingest one epoch batch; emit every window it completes.
 
@@ -616,11 +781,8 @@ class StreamingDiagnosisEngine:
         close only when ``window_epochs`` epochs have accumulated —
         batch boundaries never leak into window boundaries.
         """
-        self._ingest(batch)
-        windows = []
-        while self._pending_rows >= self.window_epochs:
-            windows.append(self._process_window(self.window_epochs, executor))
-        return windows
+        self.ingest(batch)
+        return self.process_pending(executor)
 
     def flush(self, executor=None) -> list[StreamWindow]:
         """Close the trailing partial window, if any epochs are pending."""

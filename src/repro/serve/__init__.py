@@ -1,0 +1,41 @@
+"""repro.serve — diagnosis as a service.
+
+Multi-tenant session management over the streaming diagnosis engine:
+a :class:`DiagnosisService` multiplexes named
+:class:`TenantSession` objects over one shared executor and one shared
+explainer cache, with per-tenant seed isolation, bounded ingest queues
+(:class:`BackpressureError`), and whole-service snapshot/restore
+(:func:`save_snapshot` / :func:`load_snapshot`) that resumes every
+tenant's stream byte-identically.
+
+    from repro.serve import DiagnosisService
+
+    with DiagnosisService(window_epochs=64, random_state=7) as service:
+        service.open_session("tenant-a")
+        for batch in stream:
+            for window in service.process("tenant-a", batch):
+                ...
+        print(service.close_session("tenant-a").format_table())
+"""
+
+from .service import DiagnosisService, interleave
+from .session import BackpressureError, TenantSession
+from .snapshot import (
+    SNAPSHOT_SCHEMA,
+    ServiceSnapshot,
+    SessionSnapshot,
+    load_snapshot,
+    save_snapshot,
+)
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "BackpressureError",
+    "DiagnosisService",
+    "ServiceSnapshot",
+    "SessionSnapshot",
+    "TenantSession",
+    "interleave",
+    "load_snapshot",
+    "save_snapshot",
+]

@@ -1,0 +1,320 @@
+"""Diagnosis-as-a-service: one engine per tenant, shared everything else.
+
+:class:`DiagnosisService` multiplexes many named tenant sessions —
+each a :class:`~repro.serve.session.TenantSession` wrapping its own
+:class:`~repro.core.stream.StreamingDiagnosisEngine` — over shared
+infrastructure:
+
+* one **executor** (:func:`repro.core.executor.get_executor`) drives
+  the chunked explanation dispatch of every session, so the worker
+  budget is a service-level knob rather than per-tenant;
+* one **explainer cache** (:func:`repro.core.cache.get_cache`) is hit
+  by all sessions — tenants running the same scenario share background
+  predictions and coalition designs across session boundaries;
+* one **seed** covers the whole service: tenant ``i``'s engine seed is
+  ``spawn_seeds(service_seed, i + 1)[i]``, which is prefix-stable, so
+  a tenant's reports do not depend on how many tenants open after it,
+  and a restored service hands out the same seeds it did before.
+
+Per-tenant isolation is the determinism contract in service clothing:
+each session's report is byte-identical to running that tenant alone
+in its own process with the same integer seed — the concurrent-session
+stress tests in ``tests/serve/`` enforce exactly that.
+
+The service snapshots and restores (:meth:`DiagnosisService.snapshot`,
+:meth:`DiagnosisService.restore`): a restarted service resumes every
+tenant's stream byte-identically to one that was never interrupted.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.cache import get_cache
+from repro.core.executor import get_executor
+from repro.core.stream import StreamingDiagnosisEngine, StreamReport
+from repro.utils.rng import spawn_seeds
+
+from .session import TenantSession
+from .snapshot import ServiceSnapshot
+
+__all__ = ["DiagnosisService", "interleave"]
+
+
+class DiagnosisService:
+    """Multi-tenant streaming diagnosis over a shared executor + cache.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a fresh unfitted estimator,
+        handed to every session engine (default: the reference
+        ``logistic_regression`` factory).
+    max_pending_epochs:
+        Default per-session ingest budget: ``submit`` rejects batches
+        that would push a session's pending buffer past this
+        (:class:`~repro.serve.session.BackpressureError`).  Override
+        per session via ``open_session``.
+    backend, workers:
+        The shared executor (see :func:`repro.core.executor.get_executor`;
+        ``"auto"`` resolves to serial on one usable CPU).  Timing-only:
+        reports are byte-identical across backends and worker counts.
+    random_state:
+        Service seed.  Non-integer seeds are frozen into one drawn
+        integer at construction so tenant seeds survive restarts.
+    cache_entries:
+        If given, resize the shared explainer cache so both its global
+        identity tier and its token-fallback tier hold this many
+        entries (see :meth:`repro.core.cache.ExplainerCache.resize`).
+    **engine_kwargs:
+        Forwarded to every session's
+        :class:`~repro.core.stream.StreamingDiagnosisEngine`
+        (``window_epochs``, ``refit_every``, ``explainer_method``, ...).
+    """
+
+    def __init__(self, model_factory=None, *, max_pending_epochs: int = 256,
+                 backend: str = "auto", workers: int | None = None,
+                 random_state=None, cache_entries: int | None = None,
+                 **engine_kwargs):
+        if max_pending_epochs < 1:
+            raise ValueError(
+                f"max_pending_epochs must be >= 1, got {max_pending_epochs}"
+            )
+        self.model_factory = model_factory
+        self.max_pending_epochs = int(max_pending_epochs)
+        if isinstance(random_state, (int, np.integer)):
+            self.random_state = int(random_state)
+        else:
+            # freeze live generators / None into one drawn integer so
+            # tenant seeds are reproducible across snapshot/restore
+            self.random_state = spawn_seeds(random_state, 1)[0]
+        self._engine_kwargs = dict(engine_kwargs)
+        self._executor = get_executor(backend, workers)
+        self._sessions: dict[str, TenantSession] = {}
+        self._next_index = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        if cache_entries is not None:
+            get_cache().resize(
+                max_total_entries=cache_entries,
+                max_token_entries=cache_entries,
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def executor(self):
+        """The shared executor driving every session's explanation."""
+        return self._executor
+
+    @property
+    def session_names(self) -> list[str]:
+        """Open session names in tenant-index order."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [s.name for s in sorted(sessions, key=lambda s: s.tenant_index)]
+
+    def tenant_seed(self, index: int) -> int:
+        """The engine seed of tenant ``index`` (prefix-stable)."""
+        return spawn_seeds(self.random_state, index + 1)[index]
+
+    # ------------------------------------------------------------------
+    def open_session(self, name: str, *,
+                     max_pending_epochs: int | None = None) -> TenantSession:
+        """Register tenant ``name`` and return its fresh session.
+
+        Tenant indices are monotonic and never reused, even after
+        ``close_session`` — a re-opened name gets a *new* index and
+        therefore a new seed, so one tenant's history can never bleed
+        into another's report.
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError(f"session name must be a non-empty str, "
+                             f"got {name!r}")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if name in self._sessions:
+                raise ValueError(f"session {name!r} is already open")
+            index = self._next_index
+            self._next_index += 1
+            seed = self.tenant_seed(index)
+            engine = StreamingDiagnosisEngine(
+                self.model_factory, random_state=seed, **self._engine_kwargs
+            )
+            session = TenantSession(
+                name, index, seed, engine,
+                max_pending_epochs=(
+                    self.max_pending_epochs if max_pending_epochs is None
+                    else max_pending_epochs
+                ),
+            )
+            self._sessions[name] = session
+            return session
+
+    def session(self, name: str) -> TenantSession:
+        """Look up an open session by name (``KeyError`` if absent)."""
+        with self._lock:
+            try:
+                return self._sessions[name]
+            except KeyError:
+                raise KeyError(f"no open session named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    def submit(self, name: str, batch) -> int:
+        """Enqueue a batch for tenant ``name``; new pending count.
+
+        Raises :class:`~repro.serve.session.BackpressureError` when the
+        tenant is over budget — drain (or ``process``) first.
+        """
+        return self.session(name).submit(batch)
+
+    def drain(self, name: str) -> list:
+        """Close tenant ``name``'s complete pending windows."""
+        return self.session(name).drain(self._executor)
+
+    def process(self, name: str, batch) -> list:
+        """``submit`` + ``drain`` for tenant ``name`` in one call."""
+        session = self.session(name)
+        session.submit(batch)
+        return session.drain(self._executor)
+
+    def drain_all(self) -> dict[str, list]:
+        """Drain every open session; windows keyed by session name."""
+        return {
+            name: self.session(name).drain(self._executor)
+            for name in self.session_names
+        }
+
+    def flush_all(self) -> dict[str, list]:
+        """Flush every session's trailing partial window."""
+        return {
+            name: self.session(name).flush(self._executor)
+            for name in self.session_names
+        }
+
+    def report(self, name: str) -> StreamReport:
+        """Tenant ``name``'s report over all windows closed so far."""
+        return self.session(name).report()
+
+    def close_session(self, name: str, *, flush: bool = True) -> StreamReport:
+        """Unregister tenant ``name``; returns its final report."""
+        session = self.session(name)
+        if flush:
+            session.flush(self._executor)
+        report = session.report()
+        with self._lock:
+            self._sessions.pop(name, None)
+        return report
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ServiceSnapshot:
+        """Detached, picklable snapshot of the service and all sessions."""
+        with self._lock:
+            sessions = sorted(
+                self._sessions.values(), key=lambda s: s.tenant_index
+            )
+        return ServiceSnapshot(
+            service_config={
+                "max_pending_epochs": self.max_pending_epochs,
+                "random_state": self.random_state,
+                "engine_kwargs": dict(self._engine_kwargs),
+                "next_index": self._next_index,
+            },
+            sessions=[s.snapshot() for s in sessions],
+        )
+
+    @classmethod
+    def restore(cls, snapshot: ServiceSnapshot, *, model_factory=None,
+                backend: str = "auto", workers: int | None = None,
+                cache_entries: int | None = None) -> "DiagnosisService":
+        """Rebuild a service from :meth:`snapshot`.
+
+        ``model_factory`` / ``backend`` / ``workers`` are supplied by
+        the restoring code (they are deliberately not in the snapshot);
+        everything report-determining comes from the snapshot, so the
+        restored service resumes every tenant byte-identically.
+        """
+        config = snapshot.service_config
+        service = cls(
+            model_factory,
+            max_pending_epochs=config["max_pending_epochs"],
+            backend=backend,
+            workers=workers,
+            random_state=config["random_state"],
+            cache_entries=cache_entries,
+            **config["engine_kwargs"],
+        )
+        for snap in snapshot.sessions:
+            engine = StreamingDiagnosisEngine(
+                model_factory, **snap.engine["config"]
+            )
+            engine.load_state_dict(snap.engine)
+            session = TenantSession(
+                snap.name, snap.tenant_index, snap.seed, engine,
+                max_pending_epochs=snap.max_pending_epochs,
+            )
+            with service._lock:
+                service._sessions[snap.name] = session
+        service._next_index = config["next_index"]
+        return service
+
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict:
+        """Hit/miss statistics of the shared explainer cache."""
+        return get_cache().stats()
+
+    def close(self) -> None:
+        """Shut the shared executor down (idempotent).
+
+        Sessions stay readable (``report`` still works) but draining
+        through the service is over.
+        """
+        with self._lock:
+            self._closed = True
+        self._executor.close()
+
+    def __enter__(self) -> "DiagnosisService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"DiagnosisService(sessions={len(self._sessions)}, "
+            f"backend={self._executor.backend!r}, "
+            f"seed={self.random_state})"
+        )
+
+
+def interleave(service: DiagnosisService, streams: dict,
+               *, until_epoch: int | None = None) -> dict[str, list]:
+    """Round-robin many tenant streams through one service.
+
+    ``streams`` maps session names (already opened on ``service``) to
+    iterables of epoch batches.  Batches are fed one per tenant per
+    round in sorted-name order — the worst case for accidental
+    cross-tenant state sharing, which makes this the natural driver
+    for the isolation tests and the serve benchmark.  Feeding stops
+    per tenant when its stream is exhausted or, with ``until_epoch``,
+    once the session has seen at least that many epochs (useful for
+    stopping mid-stream before a snapshot).
+
+    Returns the windows closed per session, keyed by name.
+    """
+    iterators = {name: iter(stream) for name, stream in streams.items()}
+    windows: dict[str, list] = {name: [] for name in iterators}
+    while iterators:
+        for name in sorted(iterators):
+            if (until_epoch is not None
+                    and service.session(name).epochs_seen >= until_epoch):
+                del iterators[name]
+                continue
+            batch = next(iterators[name], None)
+            if batch is None:
+                del iterators[name]
+                continue
+            windows[name].extend(service.process(name, batch))
+    return windows

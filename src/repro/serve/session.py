@@ -1,0 +1,166 @@
+"""One tenant's diagnosis session inside a shared service.
+
+A :class:`TenantSession` wraps a
+:class:`~repro.core.stream.StreamingDiagnosisEngine` with the three
+things multi-tenancy needs and a bare engine does not have:
+
+* an **identity** — a name and a monotonic tenant index, from which the
+  session's integer seed is derived (prefix-stable, so tenant ``i``
+  gets the same seed no matter how many tenants open after it);
+* a **bounded ingest queue** — ``submit`` rejects batches that would
+  push the engine's pending buffer past ``max_pending_epochs``,
+  raising :class:`BackpressureError` instead of letting one chatty
+  tenant grow memory without bound;
+* a **lock** — submit/drain/report/snapshot are serialized per
+  session, so concurrent callers (the service is driven from many
+  threads) cannot interleave half-ingested batches.
+
+Sessions do not own an executor; the service passes its shared one
+into :meth:`TenantSession.drain`.  Parallelism is timing-only — every
+report is byte-identical to a serial run under the session's seed.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+from repro.core.stream import StreamingDiagnosisEngine, StreamReport
+
+from .snapshot import SessionSnapshot
+
+__all__ = ["BackpressureError", "TenantSession"]
+
+
+class BackpressureError(RuntimeError):
+    """A submitted batch would exceed the session's pending budget.
+
+    Carries enough context (``session``, ``pending_epochs``,
+    ``batch_epochs``, ``capacity``) for the caller to decide whether to
+    drain and retry, shed load, or fail the tenant request upstream.
+    The rejected batch was **not** ingested — the session is unchanged.
+    """
+
+    def __init__(self, session: str, pending_epochs: int,
+                 batch_epochs: int, capacity: int):
+        self.session = session
+        self.pending_epochs = pending_epochs
+        self.batch_epochs = batch_epochs
+        self.capacity = capacity
+        super().__init__(
+            f"session {session!r}: refusing batch of {batch_epochs} "
+            f"epochs; {pending_epochs} already pending of "
+            f"{capacity} allowed — drain before submitting more"
+        )
+
+
+class TenantSession:
+    """A named, seeded, backpressure-bounded engine wrapper.
+
+    Built by :meth:`repro.serve.DiagnosisService.open_session`; not
+    usually constructed directly.
+    """
+
+    def __init__(self, name: str, tenant_index: int, seed: int,
+                 engine: StreamingDiagnosisEngine,
+                 max_pending_epochs: int):
+        if max_pending_epochs < 1:
+            raise ValueError(
+                f"max_pending_epochs must be >= 1, got {max_pending_epochs}"
+            )
+        self.name = name
+        self.tenant_index = int(tenant_index)
+        self.seed = int(seed)
+        self.engine = engine
+        self.max_pending_epochs = int(max_pending_epochs)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_epochs(self) -> int:
+        """Epochs ingested but not yet assigned to a closed window."""
+        return self.engine.pending_epochs
+
+    @property
+    def epochs_seen(self) -> int:
+        """Total epochs this session has accepted (closed + pending)."""
+        return self.engine.epochs_seen
+
+    @property
+    def windows(self) -> list:
+        """All windows closed so far (live list — do not mutate)."""
+        return self.engine.windows
+
+    # ------------------------------------------------------------------
+    def submit(self, batch) -> int:
+        """Enqueue one epoch batch; returns the new pending count.
+
+        Raises :class:`BackpressureError` — *without* ingesting — when
+        the batch would push the pending buffer past
+        ``max_pending_epochs``.  A single batch larger than the whole
+        budget can therefore never be accepted; size
+        ``max_pending_epochs`` to at least the largest batch the
+        tenant emits.
+        """
+        labels = getattr(batch, "sla_violation", None)
+        batch_epochs = len(labels) if labels is not None else 0
+        with self._lock:
+            pending = self.engine.pending_epochs
+            if pending + batch_epochs > self.max_pending_epochs:
+                raise BackpressureError(
+                    self.name, pending, batch_epochs,
+                    self.max_pending_epochs,
+                )
+            return self.engine.ingest(batch)
+
+    def drain(self, executor=None) -> list:
+        """Close every complete window in the pending buffer."""
+        with self._lock:
+            return self.engine.process_pending(executor)
+
+    def process(self, batch, executor=None) -> list:
+        """``submit`` then ``drain`` — the one-call streaming step."""
+        self.submit(batch)
+        return self.drain(executor)
+
+    def flush(self, executor=None) -> list:
+        """End of stream: close the trailing partial window, if any."""
+        with self._lock:
+            return self.engine.flush(executor)
+
+    # ------------------------------------------------------------------
+    def report(self) -> StreamReport:
+        """A :class:`StreamReport` over every window closed so far."""
+        with self._lock:
+            return StreamReport(
+                windows=list(self.engine.windows),
+                window_epochs=self.engine.window_epochs,
+                refit_every=self.engine.refit_every,
+                explainer=self.engine.explainer_method,
+                scenario=self.name,
+                seed=self.engine.random_state,
+            )
+
+    def snapshot(self) -> SessionSnapshot:
+        """Detached, picklable snapshot of this session.
+
+        The engine state is pickle-round-tripped under the session
+        lock, so the snapshot neither aliases live engine state nor can
+        silently turn out unpicklable later at save time.
+        """
+        with self._lock:
+            engine_state = pickle.loads(pickle.dumps(self.engine.state_dict()))
+        return SessionSnapshot(
+            name=self.name,
+            tenant_index=self.tenant_index,
+            seed=self.seed,
+            max_pending_epochs=self.max_pending_epochs,
+            engine=engine_state,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"TenantSession(name={self.name!r}, "
+            f"tenant_index={self.tenant_index}, seed={self.seed}, "
+            f"epochs_seen={self.epochs_seen})"
+        )

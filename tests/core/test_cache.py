@@ -178,6 +178,84 @@ class TestTokenFallback:
         cache.background_predictions(CountingModel(), np.ones((4, 2)))
         assert cache.stats()["background_token_entries"] == 0
 
+    def test_token_tier_has_its_own_cap(self):
+        """ISSUE 8 satellite: the token tier is *global* — bounding it
+        by the per-function ``max_backgrounds`` cap (the old bug) made
+        many-tenant workloads thrash token entries and cold-start every
+        process shard.  It now defaults to ``max_total_entries``."""
+        from repro.core.explainers import model_output_fn
+
+        cache = ExplainerCache(max_backgrounds=2, max_total_entries=64)
+        assert cache.max_token_entries == 64
+        fn = model_output_fn(ScaledModel())
+        backgrounds = [np.full((4, 3), float(i)) for i in range(6)]
+        for bg in backgrounds:
+            cache.background_predictions(fn, bg)
+        # six token entries survive a max_backgrounds=2 cache: the tier
+        # is no longer squeezed through the per-function cap
+        assert cache.stats()["background_token_entries"] == 6
+        assert cache.stats()["token_evictions"] == 0
+        # an unpickled twin (identity lost) still hits all six
+        import pickle
+
+        twin = pickle.loads(pickle.dumps(fn))
+        hits_before = cache.stats()["hits"]
+        for bg in backgrounds:
+            cache.background_predictions(twin, bg)
+        assert cache.stats()["hits"] == hits_before + 6
+
+    def test_token_tier_evictions_counted_at_explicit_cap(self):
+        from repro.core.explainers import model_output_fn
+
+        cache = ExplainerCache(max_backgrounds=2, max_token_entries=3)
+        fn = model_output_fn(ScaledModel())
+        for i in range(5):
+            cache.background_predictions(fn, np.full((4, 3), float(i)))
+        stats = cache.stats()
+        assert stats["background_token_entries"] == 3
+        assert stats["token_evictions"] == 2
+        # LRU: the most recent backgrounds survived, the oldest did not
+        hits_before = cache.stats()["hits"]
+        cache.background_predictions(fn, np.full((4, 3), 4.0))
+        cache.background_predictions(fn, np.full((4, 3), 3.0))
+        assert cache.stats()["hits"] == hits_before + 2
+        cache.background_predictions(fn, np.full((4, 3), 0.0))
+        assert cache.stats()["hits"] == hits_before + 2  # evicted: a miss
+
+    def test_resize_shrinks_token_tier_in_place(self):
+        from repro.core.explainers import model_output_fn
+
+        cache = ExplainerCache()
+        fn = model_output_fn(ScaledModel())
+        for i in range(5):
+            cache.background_predictions(fn, np.full((4, 3), float(i)))
+        cache.resize(max_token_entries=2)
+        stats = cache.stats()
+        assert stats["background_token_entries"] == 2
+        assert stats["token_evictions"] == 3
+        with pytest.raises(ValueError, match=">= 1"):
+            cache.resize(max_token_entries=0)
+
+    def test_resize_shrinks_identity_tier_and_designs(self):
+        cache = ExplainerCache()
+        fns = [CountingModel() for _ in range(4)]
+        bg = np.arange(8.0).reshape(4, 2)
+        results = [cache.background_predictions(fn, bg) for fn in fns]
+        for i in range(3):
+            cache.coalition_design(
+                ("k", 4, 16, True, i),
+                lambda: (np.ones((2, 4), dtype=bool), np.ones(2)),
+            )
+        cache.resize(max_total_entries=2, max_designs=1)
+        stats = cache.stats()
+        assert stats["background_entries"] == 2
+        assert stats["evictions"] == 2
+        assert stats["design_entries"] == 1
+        # surviving (most recent) entries still serve correct values
+        np.testing.assert_array_equal(
+            cache.background_predictions(fns[3], bg), results[3]
+        )
+
     def test_thread_safety_under_concurrent_requests(self):
         from concurrent.futures import ThreadPoolExecutor
 
@@ -246,6 +324,7 @@ class TestCoalitionDesignCache:
             "hits": 0,
             "misses": 0,
             "evictions": 0,
+            "token_evictions": 0,
             "background_entries": 0,
             "background_token_entries": 0,
             "design_entries": 0,
@@ -256,6 +335,8 @@ class TestCoalitionDesignCache:
             ExplainerCache(max_backgrounds=0)
         with pytest.raises(ValueError, match=">= 1"):
             ExplainerCache(max_total_entries=0)
+        with pytest.raises(ValueError, match=">= 1"):
+            ExplainerCache(max_token_entries=0)
 
 
 class TestGlobalEntryBound:

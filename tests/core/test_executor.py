@@ -50,10 +50,27 @@ class TestGetExecutor:
         assert isinstance(get_executor(), SerialExecutor)
         assert isinstance(get_executor("auto", 1), SerialExecutor)
 
-    def test_auto_with_workers_prefers_processes(self):
+    def test_auto_with_workers_prefers_processes(self, monkeypatch):
+        import repro.core.executor as executor_mod
+
+        monkeypatch.setattr(executor_mod, "available_workers", lambda: 4)
         with get_executor("auto", 2) as ex:
             assert isinstance(ex, ProcessExecutor)
             assert ex.workers == 2
+
+    def test_auto_resolves_serial_on_one_usable_cpu(self, monkeypatch):
+        """ISSUE 8 satellite: ``auto`` with a worker budget used to pay
+        fork+pickle overhead even when CPU affinity leaves one core (a
+        CI container) — zero speedup, results identical.  It must
+        resolve to serial there; the choice is timing-only."""
+        import repro.core.executor as executor_mod
+
+        monkeypatch.setattr(executor_mod, "available_workers", lambda: 1)
+        with get_executor("auto", 4) as ex:
+            assert isinstance(ex, SerialExecutor)
+        # an *explicit* backend request is still honored as asked
+        with get_executor("process", 2) as ex:
+            assert isinstance(ex, ProcessExecutor)
 
     def test_named_backends(self):
         assert isinstance(get_executor("serial"), SerialExecutor)

@@ -314,6 +314,125 @@ class TestEngineIncremental:
             engine.process_batch(object())
 
 
+class TestLabelValidation:
+    """ISSUE 8 satellite: ``_ingest`` used to cast labels straight to
+    int64 — float labels were silently truncated (0.5 -> 0) and
+    negative or multi-class values only crashed much later, deep inside
+    ``np.bincount`` in ``_history_fittable``, with no hint of which
+    batch was bad.  Ingest now validates labels are binary 0/1 and
+    names the offending batch."""
+
+    @staticmethod
+    def _batch_with_labels(labels, start=0):
+        n = len(labels)
+        batch = _synthetic_batch(n, [0] * n, start=start, seed=1)
+        batch.sla_violation = np.asarray(labels)
+        return batch
+
+    def test_float_labels_rejected(self):
+        engine = StreamingDiagnosisEngine(window_epochs=8, random_state=0)
+        with pytest.raises(ValueError, match="binary 0/1"):
+            engine.process_batch(self._batch_with_labels([0.0, 0.5, 1.0, 0.0]))
+
+    def test_negative_labels_rejected_at_ingest(self):
+        engine = StreamingDiagnosisEngine(window_epochs=8, random_state=0)
+        with pytest.raises(ValueError, match=r"binary 0/1.*-1"):
+            engine.process_batch(self._batch_with_labels([0, 1, -1, 0]))
+
+    def test_multiclass_labels_rejected(self):
+        engine = StreamingDiagnosisEngine(window_epochs=8, random_state=0)
+        with pytest.raises(ValueError, match=r"binary 0/1.*\b2\b"):
+            engine.process_batch(self._batch_with_labels([0, 1, 2, 1]))
+
+    def test_error_names_the_offending_batch(self):
+        engine = StreamingDiagnosisEngine(window_epochs=8, random_state=0)
+        with pytest.raises(ValueError, match="epoch 128"):
+            engine.process_batch(
+                self._batch_with_labels([0, 1, 7, 1], start=128)
+            )
+
+    def test_rejected_batch_leaves_no_partial_state(self):
+        engine = StreamingDiagnosisEngine(window_epochs=8, random_state=0)
+        with pytest.raises(ValueError, match="binary 0/1"):
+            engine.process_batch(self._batch_with_labels([0, 1, 2, 1]))
+        assert engine.pending_epochs == 0
+        assert engine.epochs_seen == 0
+
+    def test_exact_binary_floats_and_bools_accepted(self):
+        engine = StreamingDiagnosisEngine(window_epochs=32, random_state=0)
+        engine.process_batch(
+            self._batch_with_labels(np.array([0.0, 1.0, 0.0, 1.0]))
+        )
+        engine.process_batch(
+            self._batch_with_labels(np.array([True, False, True, False]))
+        )
+        assert engine.pending_epochs == 8
+        assert engine._pending_y[0].dtype == np.int64
+
+
+class TestEngineSnapshot:
+    """Tentpole refactor: the engine's resumable state is extractable
+    (``state_dict``) and installable (``load_state_dict``), and a
+    restored engine continues its stream byte-identically to one that
+    was never interrupted."""
+
+    def test_ingest_process_pending_split(self):
+        engine = StreamingDiagnosisEngine(
+            window_epochs=32, explain_per_window=0, random_state=0
+        )
+        assert engine.ingest(_synthetic_batch(20, [0] * 20, seed=1)) == 20
+        assert engine.pending_epochs == 20
+        assert engine.epochs_seen == 20
+        assert engine.process_pending() == []
+        engine.ingest(_synthetic_batch(50, [0] * 50, seed=2))
+        windows = engine.process_pending()
+        assert [w.n_epochs for w in windows] == [32, 32]
+        assert engine.pending_epochs == 6
+        assert engine.epochs_seen == 70
+
+    def test_snapshot_restore_resumes_byte_identically(self, report):
+        """Interrupt mid-stream — with a partially filled window and a
+        fitted pipeline in flight — pickle the state, restore it into a
+        fresh engine, finish the stream: the combined report must match
+        the uninterrupted run byte for byte."""
+        import pickle
+
+        batches = list(_stream(batch_epochs=40))  # 8 batches of 40
+        engine = StreamingDiagnosisEngine(**FAST)
+        for batch in batches[:3]:  # 120 epochs: 1 closed window + 56 pending
+            engine.process_batch(batch)
+        assert engine.pending_epochs == 56
+        blob = pickle.dumps(engine.state_dict())
+
+        restored = StreamingDiagnosisEngine(**FAST)
+        restored.load_state_dict(pickle.loads(blob))
+        assert restored.pending_epochs == 56
+        assert restored.epochs_seen == engine.epochs_seen
+        for batch in batches[3:]:
+            restored.process_batch(batch)
+        restored.flush()
+        resumed = StreamReport(
+            windows=restored.windows,
+            window_epochs=restored.window_epochs,
+            refit_every=restored.refit_every,
+            explainer=restored.explainer_method,
+        )
+        assert resumed.format_table(timing=False) == report.format_table(
+            timing=False
+        )
+
+    def test_config_mismatch_rejected(self):
+        donor = StreamingDiagnosisEngine(**FAST)
+        other = StreamingDiagnosisEngine(**{**FAST, "window_epochs": 32})
+        with pytest.raises(ValueError, match="window_epochs"):
+            other.load_state_dict(donor.state_dict())
+
+    def test_config_dict_excludes_backend(self):
+        serial = StreamingDiagnosisEngine(**FAST)
+        threaded = StreamingDiagnosisEngine(**FAST, backend="thread", workers=2)
+        assert serial.config_dict() == threaded.config_dict()
+
+
 class TestEngineValidation:
     def test_bad_window_epochs(self):
         with pytest.raises(ValueError, match="window_epochs"):

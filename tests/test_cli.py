@@ -346,3 +346,75 @@ class TestStream:
                               if not l.startswith("scenario=")]
         assert strip(first) == strip(second)
         assert "backend=thread x2" in second
+
+
+class TestServe:
+    FAST = ["--tenants", "2", "--epochs", "64", "--window", "32",
+            "--batch-epochs", "32", "--explain-per-window", "2",
+            "--seed", "7"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "run"])
+        assert args.command == "serve"
+        assert args.serve_command == "run"
+        assert args.tenants == 4
+        assert args.window == 64
+        assert args.backend == "auto"
+        assert args.snapshot_epoch is None
+        assert not args.no_timing
+
+    def test_parser_rejects_bad_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "run", "--tenants", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "run", "--max-pending", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])  # subcommand required
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["serve", "run", "--scenarios", "nope"]) == 1
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_unknown_method_rejected(self, capsys):
+        assert main(["serve", "run", "--method", "astrology"]) == 1
+        assert "unknown explainer" in capsys.readouterr().out
+
+    def test_snapshot_flag_validation(self, capsys, tmp_path):
+        assert main(["serve", "run", "--snapshot-epoch", "64"]) == 1
+        assert "--snapshot-out" in capsys.readouterr().out
+        snap = str(tmp_path / "s.pkl")
+        assert main(["serve", "run", "--snapshot-epoch", "65",
+                     "--snapshot-out", snap, "--window", "32",
+                     "--batch-epochs", "32"]) == 1
+        assert "multiple of the batch granularity" in capsys.readouterr().out
+        assert main(["serve", "run", "--snapshot-epoch", "64",
+                     "--snapshot-out", snap, "--restore", snap]) == 1
+        assert "mutually exclusive" in capsys.readouterr().out
+
+    def test_oversized_batches_rejected_upfront(self, capsys):
+        assert main(["serve", "run", "--batch-epochs", "512",
+                     "--max-pending", "64"]) == 1
+        assert "every submission would be rejected" in capsys.readouterr().out
+
+    def test_run_prints_per_tenant_reports(self, capsys):
+        assert main(["serve", "run", *self.FAST]) == 0
+        out = capsys.readouterr().out
+        assert "=== tenant-0 [fault-storm]" in out
+        assert "=== tenant-1 [bursty-traffic]" in out
+        assert "2 sessions, 4 windows, 64 epochs each" in out
+        assert "shared cache" in out  # timing + cache stats by default
+
+    def test_snapshot_restore_is_byte_identical(self, capsys, tmp_path):
+        """The acceptance path: an interrupted-and-restored service
+        prints exactly the bytes of one that was never interrupted."""
+        assert main(["serve", "run", *self.FAST, "--no-timing"]) == 0
+        full = capsys.readouterr().out
+        snap = str(tmp_path / "svc.pkl")
+        assert main(["serve", "run", *self.FAST, "--snapshot-epoch", "32",
+                     "--snapshot-out", snap]) == 0
+        assert "snapshot of 2 sessions" in capsys.readouterr().out
+        assert main(["serve", "run", *self.FAST, "--restore", snap,
+                     "--no-timing"]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == full
+        assert "epochs/s" not in full and "shared cache" not in full

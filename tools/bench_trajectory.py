@@ -7,9 +7,12 @@ Each run measures the packed-vs-legacy A/B panel that PR 5 introduced
 (forest ``predict_proba``, boosting margin, KernelSHAP-over-forest
 batch explanation) plus the vectorized TreeSHAP panel PR 6 added
 (path-dependent and interventional batches vs the legacy per-row
-recursions, and the derived exact-vs-sampled attribution ratio) with
-best-of-N wall clocks, asserts output equality, and writes one JSON
-document::
+recursions, and the derived exact-vs-sampled attribution ratio) plus
+the multi-tenant serve panel PR 8 added (a 100-session interleaved
+fleet through one ``DiagnosisService``: sessions/sec, p50/p99 window
+latency, and byte-identical snapshot/restore as the equality claim)
+with best-of-N wall clocks, asserts output equality, and writes one
+JSON document::
 
     PYTHONPATH=src python tools/bench_trajectory.py --pr 5
 
@@ -235,6 +238,108 @@ def measure(rows: int, kernel_rows: int, repeats: int) -> list[dict]:
     return results
 
 
+def measure_serve(sessions: int, serve_epochs: int) -> list[dict]:
+    """PR 8 panel: the multi-tenant serve fleet.
+
+    Times a ``sessions``-tenant interleaved run through one
+    :class:`~repro.serve.DiagnosisService` (shared executor + explainer
+    cache), reports sessions/sec and the p50/p99 per-window latency,
+    and asserts — as the panel's hard equality claim — that restoring
+    the fleet from a mid-stream snapshot reproduces every tenant's
+    report byte-identically.
+    """
+    import pickle
+
+    from repro.datasets import stream_scenario_telemetry
+    from repro.serve import DiagnosisService, interleave
+
+    config = dict(
+        window_epochs=16,
+        refit_every=2,
+        explain_per_window=2,
+        explainer_kwargs={"n_samples": 32},
+        random_state=2020,
+        max_pending_epochs=64,
+    )
+    batch_epochs = 16
+    snapshot_epoch = serve_epochs - batch_epochs
+    scenarios = ("fault-storm", "bursty-traffic", "baseline")
+
+    def streams(svc, skip_before=0):
+        out = {}
+        for name in svc.session_names:
+            session = svc.session(name)
+            scenario = scenarios[session.tenant_index % len(scenarios)]
+            stream = stream_scenario_telemetry(
+                scenario, serve_epochs, batch_epochs=batch_epochs,
+                random_state=session.seed,
+            )
+            if skip_before:
+                stream = (
+                    b for b in stream if b.start_epoch >= skip_before
+                )
+            out[name] = stream
+        return out
+
+    def run_fleet():
+        clear_cache()
+        with DiagnosisService(**config) as svc:
+            for i in range(sessions):
+                svc.open_session(f"tenant-{i:03d}")
+            interleave(svc, streams(svc))
+            svc.flush_all()
+            windows = [
+                w
+                for name in svc.session_names
+                for w in svc.session(name).windows
+            ]
+            tables = {
+                name: svc.report(name).format_table(timing=False)
+                for name in svc.session_names
+            }
+        return tables, windows
+
+    (tables, windows), fleet_seconds = timed(run_fleet)
+
+    # snapshot/restore equality — the panel's exact_equal claim
+    clear_cache()
+    with DiagnosisService(**config) as svc:
+        for i in range(sessions):
+            svc.open_session(f"tenant-{i:03d}")
+        interleave(svc, streams(svc), until_epoch=snapshot_epoch)
+        blob = pickle.dumps(svc.snapshot())
+    restored = DiagnosisService.restore(pickle.loads(blob))
+    with restored:
+        interleave(restored, streams(restored, skip_before=snapshot_epoch))
+        restored.flush_all()
+        resumed = {
+            name: restored.report(name).format_table(timing=False)
+            for name in restored.session_names
+        }
+    if resumed != tables:
+        raise AssertionError(
+            "serve panel: restored-from-snapshot fleet reports differ "
+            "from the uninterrupted fleet"
+        )
+
+    latencies = sorted(w.seconds for w in windows)
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[min(len(latencies) - 1, int(0.99 * len(latencies)))]
+    return [
+        {
+            "name": "serve_fleet_sessions",
+            "packed_seconds": round(fleet_seconds, 6),
+            "sessions": sessions,
+            "epochs_per_session": serve_epochs,
+            "sessions_per_sec": round(sessions / fleet_seconds, 2),
+            "windows": len(latencies),
+            "p50_window_seconds": round(p50, 6),
+            "p99_window_seconds": round(p99, 6),
+            "exact_equal": True,  # snapshot/restore equality asserted above
+        },
+    ]
+
+
 def _bench_files() -> list[str]:
     """``BENCH_<n>.json`` files in PR order (numeric, not lexicographic,
     so BENCH_12 sorts after BENCH_5)."""
@@ -262,11 +367,12 @@ def show_trajectory() -> int:
             doc = json.load(fh)
         for row in doc.get("results", []):
             speedup = row.get("speedup")
+            seconds = row.get("packed_seconds")
             print(
                 f"{os.path.basename(path):<14} {doc.get('pr', '?'):>3}  "
                 f"{row['name']:<26} "
                 f"{'' if speedup is None else f'{speedup:.2f}x':>8} "
-                f"{row['packed_seconds']:>8.3f}s"
+                f"{'' if seconds is None else f'{seconds:.3f}s':>9}"
             )
     return 0
 
@@ -292,6 +398,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--serve-sessions", type=int, default=100,
+        help="tenant sessions in the multi-tenant serve panel "
+             "(0 disables the panel)",
+    )
+    parser.add_argument(
+        "--serve-epochs", type=int, default=48,
+        help="streaming epochs per tenant in the serve panel",
+    )
+    parser.add_argument(
         "--show", action="store_true",
         help="print the trajectory from existing BENCH_*.json files",
     )
@@ -305,6 +420,10 @@ def main(argv=None) -> int:
         args.pr = _pr_of(existing[-1])
 
     results = measure(args.rows, args.kernel_rows, args.repeats)
+    if args.serve_sessions > 0:
+        results.extend(
+            measure_serve(args.serve_sessions, args.serve_epochs)
+        )
     doc = {
         "schema_version": 1,
         "pr": args.pr,
@@ -323,6 +442,8 @@ def main(argv=None) -> int:
             "rows": args.rows,
             "kernel_rows": args.kernel_rows,
             "repeats": args.repeats,
+            "serve_sessions": args.serve_sessions,
+            "serve_epochs": args.serve_epochs,
         },
         "results": results,
     }
