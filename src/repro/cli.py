@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Nine subcommands mirror the library's workflow::
+Ten subcommands mirror the library's workflow::
 
     repro simulate      --epochs 2000 --seed 7 --out trace.npz
     repro train         --epochs 3000 --seed 7 --model random_forest
     repro explain       --epochs 3000 --seed 7 --epoch-index 42
     repro explain-batch --epochs 3000 --seed 7 --limit 32
-    repro scenarios     list | run --scenarios baseline,fault-storm ...
+    repro scenarios     list [--generated] | run --scenarios baseline,...
+    repro scenarios     search --generations 2 --seed 0 --store gen.json
     repro stream        run --scenario fault-storm --window 64 ...
     repro serve         run --tenants 4 --epochs 256 ...
     repro lint          src tests --baseline lint-baseline.json
@@ -18,8 +19,12 @@ console script.)  ``simulate`` writes the raw telemetry + labels to an
 ``explain`` prints the operator report for one epoch; ``explain-batch``
 diagnoses many epochs in one vectorized pass (shared coalition design
 and background evaluation — the fleet-triage fast path); ``scenarios``
-lists the workload catalog and sweeps the scenario × model × explainer
-matrix; ``stream`` runs the online diagnosis engine over a scenario's
+lists the workload catalog (``--generated`` lists recipes found by the
+adversarial search), sweeps the scenario × model × explainer matrix,
+and runs the seeded adversarial search over the scenario-recipe grammar
+(``search`` — mutate catalog recipes, keep the ones that most degrade
+explainer faithfulness/agreement; see ``docs/scenarios.md``);
+``stream`` runs the online diagnosis engine over a scenario's
 telemetry as it is generated (sliding windows, cadenced refits,
 Page–Hinkley drift alarms — see ``docs/streaming.md``); ``serve``
 multiplexes many tenant streams through one
@@ -155,7 +160,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload scenario catalog and matrix sweeps",
     )
     scen_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
-    scen_sub.add_parser("list", help="list registered scenarios")
+    slist = scen_sub.add_parser("list", help="list registered scenarios")
+    slist.add_argument(
+        "--generated", action="store_true",
+        help="list recipes saved by 'repro scenarios search' instead of "
+             "the built-in catalog",
+    )
+    slist.add_argument(
+        "--store", default=None,
+        help="generated-recipe JSON store (default: generated_scenarios"
+             ".json; only meaningful with --generated)",
+    )
     run = scen_sub.add_parser(
         "run", help="sweep scenarios × models × explainers"
     )
@@ -182,6 +197,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=0)
     _add_parallel_args(run)
+    search = scen_sub.add_parser(
+        "search",
+        help="adversarial search over the scenario-recipe grammar",
+    )
+    search.add_argument(
+        "--generations", type=_positive_int, default=2,
+        help="mutation generations after the catalog baseline sweep",
+    )
+    search.add_argument(
+        "--population", type=_positive_int, default=6,
+        help="mutants drawn per generation",
+    )
+    search.add_argument(
+        "--top-k", type=_positive_int, default=3,
+        help="cap on winners kept (mutants scoring worse than every "
+             "catalog regime)",
+    )
+    search.add_argument(
+        "--explainers", default="tree_shap,lime",
+        help="comma-separated explainer methods scored by the objective",
+    )
+    search.add_argument(
+        "--epochs", type=_positive_int, default=600,
+        help="telemetry epochs per candidate evaluation",
+    )
+    search.add_argument(
+        "--explain", type=_positive_int, default=6,
+        help="violation epochs diagnosed per evaluation cell",
+    )
+    search.add_argument(
+        "--probe-epochs", type=_positive_int, default=512,
+        help="acceptance-probe horizon for mutated recipes",
+    )
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument(
+        "--store", default=None,
+        help="save winning recipes to this JSON store (readable back "
+             "via 'repro scenarios list --generated --store ...')",
+    )
+    search.add_argument(
+        "--no-timing", action="store_true",
+        help="drop the wall-clock footer (output becomes byte-comparable "
+             "across runs and backends)",
+    )
+    _add_parallel_args(search)
 
     stream = sub.add_parser(
         "stream",
@@ -486,6 +546,8 @@ def _cmd_explain_batch(args) -> int:
 
 def _cmd_scenarios(args) -> int:
     if args.scenarios_command == "list":
+        if args.generated:
+            return _cmd_scenarios_list_generated(args)
         from repro.nfv.scenarios import scenario_descriptions, scenario_knobs
 
         descriptions = scenario_descriptions()
@@ -494,6 +556,8 @@ def _cmd_scenarios(args) -> int:
             knobs = ", ".join(sorted(scenario_knobs(name)))
             print(f"{name:<{width}}  {description}  [knobs: {knobs}]")
         return 0
+    if args.scenarios_command == "search":
+        return _cmd_scenarios_search(args)
 
     from repro.core.matrix import run_scenario_matrix
     from repro.nfv.scenarios import list_scenarios
@@ -551,6 +615,83 @@ def _cmd_scenarios(args) -> int:
         f"seed={args.seed}, backend={backend}"
         + (f" x{workers}" if backend != "serial" else "")
     )
+    return 0
+
+
+def _cmd_scenarios_list_generated(args) -> int:
+    from repro.nfv.grammar import DEFAULT_GENERATED_STORE, load_generated
+
+    store = args.store or DEFAULT_GENERATED_STORE
+    recipes = load_generated(store)
+    if not recipes:
+        print(
+            f"no generated scenarios in {store}; create some with: "
+            f"repro scenarios search --store {store}"
+        )
+        return 0
+    width = max(len(name) for name in recipes)
+    for name in sorted(recipes):
+        recipe = recipes[name]
+        knobs = ", ".join(sorted(recipe.knob_defaults()))
+        print(f"{name:<{width}}  {recipe.description}  [knobs: {knobs}]")
+    return 0
+
+
+def _cmd_scenarios_search(args) -> int:
+    import time
+
+    from repro.core.explainers import EXPLAINER_METHODS
+    from repro.core.search import search_scenarios
+    from repro.nfv.grammar import DEFAULT_GENERATED_STORE, save_generated
+
+    explainers = [e.strip() for e in args.explainers.split(",") if e.strip()]
+    if not explainers:
+        print("need at least one explainer")
+        return 1
+    bad = sorted(set(explainers) - set(EXPLAINER_METHODS))
+    if bad:
+        print(
+            f"unknown explainers {bad}; choose from "
+            f"{', '.join(EXPLAINER_METHODS)}"
+        )
+        return 1
+
+    start = time.perf_counter()  # repro: lint-ignore[D103] opt-out via --no-timing
+    result = search_scenarios(
+        seed=args.seed,
+        generations=args.generations,
+        population=args.population,
+        top_k=args.top_k,
+        explainers=tuple(explainers),
+        n_epochs=args.epochs,
+        n_explain=args.explain,
+        accept_probe_epochs=args.probe_epochs,
+        backend=args.backend,
+        workers=args.workers,
+        progress=print,
+    )
+    elapsed = time.perf_counter() - start  # repro: lint-ignore[D103] opt-out via --no-timing
+    print()
+    print(result.format_trace(), end="")
+    if args.store:
+        winners = result.winner_recipes()
+        if winners:
+            save_generated(winners, args.store)
+            print(f"saved {len(winners)} generated recipe(s) -> {args.store}")
+        else:
+            print(f"no winners to save to {args.store}")
+    elif result.winners:
+        print(
+            "(pass --store "
+            f"{DEFAULT_GENERATED_STORE} to save the winners)"
+        )
+    if not args.no_timing:
+        backend = result.extras.get("backend", "serial")
+        workers = result.extras.get("workers", 1)
+        print(
+            f"\n{elapsed:.2f}s total, backend={backend}"
+            + (f" x{workers}" if backend != "serial" else "")
+        )
     return 0
 
 

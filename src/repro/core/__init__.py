@@ -49,6 +49,12 @@ from repro.core.matrix import (
 )
 from repro.core.pipeline import NFVDiagnosis, NFVExplainabilityPipeline
 from repro.core.rootcause import RootCauseEvaluator, vnf_attribution_scores
+from repro.core.search import (
+    SearchCandidate,
+    SearchResult,
+    adversarial_score,
+    search_scenarios,
+)
 from repro.core.stream import (
     PageHinkley,
     StreamingDiagnosisEngine,
@@ -91,6 +97,10 @@ __all__ = [
     "PermutationImportance",
     "RootCauseEvaluator",
     "SamplingShapleyExplainer",
+    "SearchCandidate",
+    "SearchResult",
+    "adversarial_score",
+    "search_scenarios",
     "SurrogateTreeExplainer",
     "TreeShapExplainer",
     "vnf_attribution_scores",

@@ -169,6 +169,28 @@ class InterventionalTreeShapExplainer(Explainer):
         return float(tree.value[node, output])
 
     def explain(self, x) -> Explanation:
+        """Attributions for one instance.
+
+        Routed through :meth:`explain_batch` as a 1-row batch, so the
+        single-row path exercises the same vectorized kernel as batch
+        attribution (one code path to trust, and the packed snapshot is
+        shared across calls).  Models without a packed form fall back
+        to the per-(tree, background) recursion
+        (:meth:`_explain_recursion`).
+        """
+        x = np.asarray(x, dtype=float).ravel()
+        d = len(self.feature_names)
+        if len(x) != d:
+            raise ValueError(f"x has {len(x)} features, expected {d}")
+        packed, _ = self._delegate._packed_column()
+        if packed is None:
+            return self._explain_recursion(x)
+        return self.explain_batch(x[np.newaxis, :])[0]
+
+    def _explain_recursion(self, x) -> Explanation:
+        """Per-(tree, background-row) recursive interventional SHAP
+        (:func:`tree_shap_interventional`) — the reference the packed
+        kernel must reproduce, and the fallback for unpacked models."""
         x = np.asarray(x, dtype=float).ravel()
         d = len(self.feature_names)
         if len(x) != d:

@@ -235,7 +235,7 @@ class _ShardTask:
     pure function of this task alone.
     """
 
-    scenario: str
+    scenario: object  # registry name (str) or a grammar ScenarioRecipe
     model_name: str
     factory: object
     explainers: tuple
@@ -248,8 +248,13 @@ class _ShardTask:
     random_state: int
 
 
+def _scenario_name(scenario) -> str:
+    """Display name of a scenario reference (name or grammar recipe)."""
+    return scenario if isinstance(scenario, str) else scenario.name
+
+
 @lru_cache(maxsize=8)
-def _scenario_dataset(scenario: str, n_epochs: int, horizon: int, seed: int):
+def _scenario_dataset(scenario, n_epochs: int, horizon: int, seed: int):
     """Per-process memo of seeded scenario datasets.
 
     Shards of the same scenario share one dataset generation within a
@@ -257,7 +262,8 @@ def _scenario_dataset(scenario: str, n_epochs: int, horizon: int, seed: int):
     scenario cost of the unsharded runner; each process-backend worker
     pays at most one generation per scenario).  Safe because scenario
     datasets are byte-identical under a fixed integer seed and shards
-    only read them.
+    only read them.  ``scenario`` may be a registry name or a (frozen,
+    hashable) grammar recipe — both are valid memo keys.
     """
     return make_scenario_dataset(
         scenario, n_epochs, horizon=horizon, random_state=seed
@@ -334,7 +340,7 @@ def _run_matrix_shard(task: _ShardTask) -> list[MatrixCell]:
             )["mean_cosine"]
 
         cells.append(MatrixCell(
-            scenario=task.scenario,
+            scenario=_scenario_name(task.scenario),
             model=task.model_name,
             explainer=method,
             train_accuracy=float(pipeline.train_score_),
@@ -384,7 +390,11 @@ def run_scenario_matrix(
     Parameters
     ----------
     scenarios:
-        Scenario names from :func:`repro.nfv.scenarios.list_scenarios`.
+        Scenario names from :func:`repro.nfv.scenarios.list_scenarios`,
+        grammar :class:`~repro.nfv.grammar.recipe.ScenarioRecipe`
+        objects (e.g. adversarial-search candidates that were never
+        registered), or a mix of both.  Cells and the report always
+        carry the scenario *name*.
     models:
         Mapping of name -> zero-argument model factory; ``None`` uses
         ``random_forest`` and ``logistic_regression`` from
@@ -495,7 +505,7 @@ def run_scenario_matrix(
 
     return MatrixReport(
         cells=cells,
-        scenarios=scenarios,
+        scenarios=[_scenario_name(s) for s in scenarios],
         models=list(models),
         explainers=explainers,
         n_epochs=n_epochs,

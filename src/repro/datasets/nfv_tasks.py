@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.nfv.faults import NO_FAULT, FaultInjector
+from repro.nfv.grammar.recipe import ScenarioRecipe
 from repro.nfv.scenarios import build_scenario
 from repro.nfv.simulator import SimulationResult, Simulator, Testbed, build_testbed
 from repro.utils.rng import check_random_state, spawn_rngs
@@ -222,8 +223,24 @@ def make_root_cause_dataset(
     )
 
 
+def _scenario_spec(scenario, random_state, scenario_kwargs):
+    """Lower a scenario reference — registry name or grammar recipe —
+    to a built :class:`~repro.nfv.scenarios.ScenarioSpec`.
+
+    Both paths consume the same rng stream, so a recipe and the
+    registry entry it backs produce byte-identical specs at a seed.
+    """
+    if isinstance(scenario, ScenarioRecipe):
+        return scenario.with_knobs(**(scenario_kwargs or {})).build(
+            random_state
+        )
+    return build_scenario(
+        scenario, random_state=random_state, **(scenario_kwargs or {})
+    )
+
+
 def make_scenario_dataset(
-    name: str,
+    name: str | ScenarioRecipe,
     n_epochs: int | None = None,
     *,
     task: str = "sla_violation",
@@ -232,21 +249,26 @@ def make_scenario_dataset(
     scenario_kwargs: dict | None = None,
     **task_kwargs,
 ) -> NFVDataset:
-    """Build a learning task under a named workload scenario.
+    """Build a learning task under a workload scenario.
 
-    Looks up ``name`` in the :mod:`repro.nfv.scenarios` registry, builds
-    its testbed + fault injector + simulator configuration, runs the
-    requested task builder on it, and stamps the scenario provenance
-    into ``dataset.metadata``.
+    ``name`` is either a registry name (looked up in
+    :mod:`repro.nfv.scenarios`) or a grammar
+    :class:`~repro.nfv.grammar.recipe.ScenarioRecipe` — search-generated
+    recipes need no registration to be materialized.  Either way the
+    scenario's testbed + fault injector + simulator configuration is
+    built, the requested task builder runs on it, and the scenario
+    provenance is stamped into ``dataset.metadata``.
 
-    Deterministic: the same ``name`` and integer ``random_state``
+    Deterministic: the same scenario and integer ``random_state``
     produce a byte-identical dataset (features, labels, culprits, fault
-    schedule) on every call.
+    schedule) on every call — and a recipe produces the same bytes as
+    the registry name it backs.
 
     Parameters
     ----------
     name:
-        A scenario from :func:`repro.nfv.scenarios.list_scenarios`.
+        A scenario from :func:`repro.nfv.scenarios.list_scenarios`, or
+        a :class:`ScenarioRecipe`.
     n_epochs:
         Run length; defaults to the scenario's ``default_epochs``.
     task:
@@ -255,16 +277,15 @@ def make_scenario_dataset(
         Forecasting horizon for the first two tasks.
     scenario_kwargs:
         Knob overrides forwarded to
-        :func:`~repro.nfv.scenarios.build_scenario`.
+        :func:`~repro.nfv.scenarios.build_scenario` (or, for recipes,
+        :meth:`~repro.nfv.grammar.recipe.ScenarioRecipe.with_knobs`).
     task_kwargs:
         Extra arguments for the underlying task builder (e.g.
         ``log_target=True`` for latency).
     """
     rng = check_random_state(random_state)
     scenario_rng, data_rng = spawn_rngs(rng, 2)
-    spec = build_scenario(
-        name, random_state=scenario_rng, **(scenario_kwargs or {})
-    )
+    spec = _scenario_spec(name, scenario_rng, scenario_kwargs)
     if n_epochs is None:
         n_epochs = spec.default_epochs
     common = dict(
@@ -293,7 +314,7 @@ def make_scenario_dataset(
     elif task == "root_cause":
         if spec.injector is None:
             raise ValueError(
-                f"scenario {name!r} is fault-free; root_cause needs faults"
+                f"scenario {spec.name!r} is fault-free; root_cause needs faults"
             )
         if horizon != 0:
             raise ValueError("root_cause does not support a horizon")
@@ -318,14 +339,18 @@ def make_scenario_dataset(
 
 
 def stream_scenario_telemetry(
-    name: str,
+    name: str | ScenarioRecipe,
     n_epochs: int | None = None,
     *,
     batch_epochs: int = 64,
     random_state=None,
     scenario_kwargs: dict | None = None,
 ):
-    """Stream a named scenario's telemetry as epoch batches.
+    """Stream a scenario's telemetry as epoch batches.
+
+    ``name`` is a registry name or a grammar
+    :class:`~repro.nfv.grammar.recipe.ScenarioRecipe`, as in
+    :func:`make_scenario_dataset`.
 
     The online counterpart of :func:`make_scenario_dataset` for the
     ``sla_violation`` task: instead of materializing one
@@ -347,9 +372,7 @@ def stream_scenario_telemetry(
     """
     rng = check_random_state(random_state)
     scenario_rng, data_rng = spawn_rngs(rng, 2)
-    spec = build_scenario(
-        name, random_state=scenario_rng, **(scenario_kwargs or {})
-    )
+    spec = _scenario_spec(name, scenario_rng, scenario_kwargs)
     stream = spec.stream(
         n_epochs, batch_epochs=batch_epochs, random_state=data_rng
     )

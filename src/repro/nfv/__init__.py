@@ -39,9 +39,11 @@ from repro.nfv.scenarios import (
     ScenarioSpec,
     build_scenario,
     list_scenarios,
+    register_recipe,
     register_scenario,
     scenario_descriptions,
     scenario_knobs,
+    scenario_recipe,
 )
 from repro.nfv.sfc import SLA, ServiceFunctionChain
 from repro.nfv.simulator import SimulationResult, Simulator, Testbed, build_testbed
@@ -66,9 +68,11 @@ __all__ = [
     "NfviTopology",
     "PlacementError",
     "RandomPlacement",
+    "register_recipe",
     "register_scenario",
     "scenario_descriptions",
     "scenario_knobs",
+    "scenario_recipe",
     "ScenarioSpec",
     "Server",
     "ServiceFunctionChain",

@@ -164,7 +164,21 @@ class FaultInjector:
         The chain must already be placed (server ids resolved) so that
         server-level faults can pick a victim server actually hosting
         one of the chain's VNFs.
+
+        A run too short to fit even the minimum fault duration has *no*
+        feasible fault window at all; with a positive rate that is
+        rejected explicitly here (``ValueError``) instead of silently
+        returning an empty schedule — extreme scenario-recipe mutations
+        reach this state, and the silent path surfaced much later as a
+        confusing one-class dataset error.
         """
+        if self.rate > 0.0 and n_epochs < self.duration_range[0]:
+            raise ValueError(
+                f"no feasible fault window: minimum fault duration "
+                f"{self.duration_range[0]} does not fit the "
+                f"{n_epochs}-epoch run; shorten duration_range, extend "
+                f"the run, or set rate=0.0"
+            )
         rng = check_random_state(random_state)
         events: list[FaultEvent] = []
         epoch = 0

@@ -1,0 +1,58 @@
+"""Compositional scenario grammar for the NFV testbed.
+
+The fixed 8-regime catalog's successor as source of truth: a
+:class:`ScenarioRecipe` composes five orthogonal axes (topology,
+traffic shape, fault mix, telemetry noise, server heterogeneity) into
+one declarative, seedable, mutable description of a workload regime.
+``recipe.build(seed)`` lowers to the existing
+:class:`~repro.nfv.scenarios.ScenarioSpec`; the 8 legacy regimes live
+on as :data:`CATALOG_RECIPES` (byte-identical datasets, golden-pinned),
+and every recipe — catalog or search-generated — passes the
+:func:`accept_recipe` harness before entering a registry.
+"""
+
+from repro.nfv.grammar.accept import (
+    AcceptanceReport,
+    accept_recipe,
+    validate_recipe,
+)
+from repro.nfv.grammar.axes import (
+    CHAIN_VNF_TYPES,
+    FaultAxis,
+    NoiseAxis,
+    ServerAxis,
+    TopologyAxis,
+    TrafficAxis,
+)
+from repro.nfv.grammar.catalog import (
+    CATALOG_RECIPES,
+    DEFAULT_GENERATED_STORE,
+    catalog_recipes,
+    get_recipe,
+    load_generated,
+    save_generated,
+)
+from repro.nfv.grammar.errors import CHECKS, RecipeValidationError
+from repro.nfv.grammar.recipe import AXIS_NAMES, ScenarioRecipe
+
+__all__ = [
+    "AXIS_NAMES",
+    "AcceptanceReport",
+    "CATALOG_RECIPES",
+    "CHAIN_VNF_TYPES",
+    "CHECKS",
+    "DEFAULT_GENERATED_STORE",
+    "FaultAxis",
+    "NoiseAxis",
+    "RecipeValidationError",
+    "ScenarioRecipe",
+    "ServerAxis",
+    "TopologyAxis",
+    "TrafficAxis",
+    "accept_recipe",
+    "catalog_recipes",
+    "get_recipe",
+    "load_generated",
+    "save_generated",
+    "validate_recipe",
+]

@@ -1,0 +1,449 @@
+"""The orthogonal axes a scenario recipe composes.
+
+Each axis is a small frozen dataclass: declarative fields only (tuples,
+floats, ints — hashable and picklable, so recipes can key the matrix
+runner's dataset memo and travel to process-backend workers), plus
+three behaviours:
+
+* ``validate()`` — structural checks mirroring the constraints the
+  lowered objects (:class:`~repro.nfv.traffic.TrafficModel`,
+  :class:`~repro.nfv.faults.FaultInjector`, ...) enforce, raised as
+  named :class:`~repro.nfv.grammar.errors.RecipeValidationError`
+  instead of loose ``ValueError`` text,
+* ``mutate(rng)`` — one seeded, deterministic perturbation drawn from
+  the axis's operator set (the unit step of the adversarial search),
+* a lowering helper (``build()`` / ``make_model()`` /
+  ``make_injector()`` / ``simulator_kwargs()`` / ``apply()``) used by
+  :meth:`ScenarioRecipe.build <repro.nfv.grammar.recipe.ScenarioRecipe.build>`.
+
+Mutations are mostly closed under validity but deliberately *can* step
+outside it (e.g. a severity jitter past 1.0): the grammar's contract is
+that every mutated recipe either passes acceptance or fails with a
+named error — never an unstructured crash — and the property suite
+exercises exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.nfv.faults import FaultInjector, FaultKind
+from repro.nfv.grammar.errors import RecipeValidationError
+from repro.nfv.sfc import SLA
+from repro.nfv.simulator import DEFAULT_ALLOCATIONS, DEFAULT_CHAIN_TYPES
+from repro.nfv.topology import NfviTopology
+from repro.nfv.traffic import TrafficModel
+from repro.utils.rng import Generator
+
+__all__ = [
+    "TopologyAxis",
+    "TrafficAxis",
+    "FaultAxis",
+    "NoiseAxis",
+    "ServerAxis",
+    "CHAIN_VNF_TYPES",
+]
+
+#: VNF types a mutation may append to the monitored chain (the
+#: simulator's allocation catalog, in a fixed sorted order so mutation
+#: draws are index-stable).
+CHAIN_VNF_TYPES = tuple(sorted(DEFAULT_ALLOCATIONS))
+
+#: Fault kind values in enum declaration order — the order
+#: ``FaultInjector(kinds=None)`` uses, which fixes the rng draw mapping.
+_ALL_FAULT_KINDS = tuple(kind.value for kind in FaultKind)
+
+
+def _round(value: float, digits: int) -> float:
+    """Stable rounding for mutated floats (keeps reprs/JSON compact)."""
+    return float(round(float(value), digits))
+
+
+@dataclass(frozen=True)
+class TopologyAxis:
+    """Fabric shape, monitored chain composition, SLA, and co-location.
+
+    The defaults reproduce :func:`repro.nfv.simulator.build_testbed`'s
+    canonical leaf-spine fabric and five-VNF security chain.
+    """
+
+    n_spine: int = 2
+    n_leaf: int = 2
+    servers_per_leaf: int = 2
+    cpu_cores: float = 8.0
+    mem_mb: float = 16384.0
+    chain_types: tuple = DEFAULT_CHAIN_TYPES
+    n_background: int = 2
+    sla_latency_ms: float = 3.0
+    sla_loss_rate: float = 0.01
+
+    def validate(self) -> None:
+        if self.n_spine < 1 or self.n_leaf < 1 or self.servers_per_leaf < 1:
+            raise RecipeValidationError(
+                "topology",
+                f"fabric dimensions must be >= 1, got spine={self.n_spine} "
+                f"leaf={self.n_leaf} servers_per_leaf={self.servers_per_leaf}",
+            )
+        if self.cpu_cores <= 0 or self.mem_mb <= 0:
+            raise RecipeValidationError(
+                "topology",
+                f"server resources must be positive, got "
+                f"cpu_cores={self.cpu_cores} mem_mb={self.mem_mb}",
+            )
+        if not self.chain_types:
+            raise RecipeValidationError(
+                "topology", "chain_types must not be empty"
+            )
+        unknown = [t for t in self.chain_types if t not in DEFAULT_ALLOCATIONS]
+        if unknown:
+            raise RecipeValidationError(
+                "topology",
+                f"unknown VNF types {unknown}; known: {CHAIN_VNF_TYPES}",
+            )
+        if not 0 <= self.n_background <= 32:
+            raise RecipeValidationError(
+                "topology",
+                f"n_background must be in [0, 32], got {self.n_background}",
+            )
+        if self.sla_latency_ms <= 0:
+            raise RecipeValidationError(
+                "topology",
+                f"sla_latency_ms must be positive, got {self.sla_latency_ms}",
+            )
+        if not 0.0 <= self.sla_loss_rate < 1.0:
+            # mirrors SLA's own bound, so the error is named here
+            # instead of surfacing as a 'placement' failure at lowering
+            raise RecipeValidationError(
+                "topology",
+                f"sla_loss_rate must be in [0, 1), got {self.sla_loss_rate}",
+            )
+
+    def mutate(self, rng: Generator) -> "TopologyAxis":
+        op = int(rng.integers(0, 4))
+        if op == 0:
+            step = -1 if rng.random() < 0.4 else 1
+            return replace(
+                self,
+                n_background=int(
+                    min(6, max(0, self.n_background + step))
+                ),
+            )
+        if op == 1:
+            step = -1 if rng.random() < 0.5 else 1
+            return replace(
+                self,
+                servers_per_leaf=int(
+                    min(4, max(1, self.servers_per_leaf + step))
+                ),
+            )
+        if op == 2:
+            types = list(self.chain_types)
+            if len(types) >= 8 or (len(types) > 3 and rng.random() < 0.5):
+                del types[int(rng.integers(0, len(types)))]
+            else:
+                types.append(
+                    CHAIN_VNF_TYPES[int(rng.integers(0, len(CHAIN_VNF_TYPES)))]
+                )
+            return replace(self, chain_types=tuple(types))
+        return replace(
+            self,
+            sla_latency_ms=_round(
+                min(10.0, max(0.5, self.sla_latency_ms * rng.uniform(0.7, 1.4))),
+                3,
+            ),
+        )
+
+    def build(self) -> NfviTopology:
+        """Construct the fabric (no rng — leaf_spine is deterministic)."""
+        return NfviTopology.leaf_spine(
+            n_spine=self.n_spine,
+            n_leaf=self.n_leaf,
+            servers_per_leaf=self.servers_per_leaf,
+            cpu_cores=self.cpu_cores,
+            mem_mb=self.mem_mb,
+        )
+
+    def make_sla(self) -> SLA:
+        return SLA(
+            max_latency_ms=self.sla_latency_ms,
+            max_loss_rate=self.sla_loss_rate,
+        )
+
+
+@dataclass(frozen=True)
+class TrafficAxis:
+    """Offered-load shape of the monitored chain.
+
+    Field-for-field the constructor surface of
+    :class:`~repro.nfv.traffic.TrafficModel` (defaults identical), so
+    lowering is a plain construction and consumes no rng.
+    """
+
+    base_kpps: float = 400.0
+    diurnal_amplitude: float = 0.35
+    period_epochs: int = 288
+    noise_sigma: float = 0.08
+    flash_crowd_rate: float = 0.004
+    flash_magnitude: float = 1.8
+    flash_duration_epochs: int = 12
+
+    def validate(self) -> None:
+        if self.base_kpps <= 0:
+            raise RecipeValidationError(
+                "traffic", f"base_kpps must be positive, got {self.base_kpps}"
+            )
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise RecipeValidationError(
+                "traffic",
+                f"diurnal_amplitude must be in [0, 1), got "
+                f"{self.diurnal_amplitude}",
+            )
+        if self.period_epochs < 1:
+            raise RecipeValidationError(
+                "traffic",
+                f"period_epochs must be >= 1, got {self.period_epochs}",
+            )
+        if self.noise_sigma < 0:
+            raise RecipeValidationError(
+                "traffic",
+                f"noise_sigma must be >= 0, got {self.noise_sigma}",
+            )
+        if not 0.0 <= self.flash_crowd_rate <= 1.0:
+            raise RecipeValidationError(
+                "traffic",
+                f"flash_crowd_rate must be in [0, 1], got "
+                f"{self.flash_crowd_rate}",
+            )
+        if self.flash_magnitude < 1.0:
+            raise RecipeValidationError(
+                "traffic",
+                f"flash_magnitude must be >= 1, got {self.flash_magnitude}",
+            )
+        if self.flash_duration_epochs < 1:
+            raise RecipeValidationError(
+                "traffic",
+                f"flash_duration_epochs must be >= 1, got "
+                f"{self.flash_duration_epochs}",
+            )
+
+    def mutate(self, rng: Generator) -> "TrafficAxis":
+        op = int(rng.integers(0, 6))
+        if op == 0:
+            return replace(
+                self, base_kpps=_round(self.base_kpps * rng.uniform(0.8, 1.3), 3)
+            )
+        if op == 1:
+            return replace(
+                self,
+                diurnal_amplitude=_round(
+                    max(0.0, self.diurnal_amplitude + rng.uniform(-0.2, 0.3)), 4
+                ),
+            )
+        if op == 2:
+            return replace(
+                self,
+                noise_sigma=_round(self.noise_sigma * rng.uniform(0.6, 2.2), 4),
+            )
+        if op == 3:
+            return replace(
+                self,
+                flash_crowd_rate=_round(
+                    min(0.2, self.flash_crowd_rate * rng.uniform(0.5, 3.0)), 5
+                ),
+            )
+        if op == 4:
+            return replace(
+                self,
+                flash_magnitude=_round(
+                    min(6.0, max(1.0, self.flash_magnitude * rng.uniform(0.8, 1.8))),
+                    3,
+                ),
+            )
+        return replace(
+            self,
+            flash_duration_epochs=int(
+                max(1, self.flash_duration_epochs + rng.integers(-6, 11))
+            ),
+        )
+
+    def make_model(self) -> TrafficModel:
+        """Lower to a :class:`TrafficModel` (construction consumes no rng)."""
+        return TrafficModel(
+            base_kpps=self.base_kpps,
+            diurnal_amplitude=self.diurnal_amplitude,
+            period_epochs=self.period_epochs,
+            noise_sigma=self.noise_sigma,
+            flash_crowd_rate=self.flash_crowd_rate,
+            flash_magnitude=self.flash_magnitude,
+            flash_duration_epochs=self.flash_duration_epochs,
+        )
+
+
+@dataclass(frozen=True)
+class FaultAxis:
+    """Fault mix: which kinds, how often, how long, how severe.
+
+    ``kinds`` stores :class:`FaultKind` *values* (plain strings) in the
+    order the injector will draw them — the order is part of the byte
+    contract, because it maps rng draws to kinds.
+    """
+
+    kinds: tuple = _ALL_FAULT_KINDS
+    rate: float = 0.01
+    duration_range: tuple = (10, 40)
+    severity_range: tuple = (0.3, 0.9)
+
+    def validate(self) -> None:
+        if not self.kinds:
+            raise RecipeValidationError("faults", "kinds must not be empty")
+        unknown = [k for k in self.kinds if k not in _ALL_FAULT_KINDS]
+        if unknown:
+            raise RecipeValidationError(
+                "faults",
+                f"unknown fault kinds {unknown}; known: {_ALL_FAULT_KINDS}",
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise RecipeValidationError(
+                "faults", f"rate must be in [0, 1], got {self.rate}"
+            )
+        lo, hi = self.duration_range
+        if not 1 <= lo <= hi:
+            raise RecipeValidationError(
+                "faults", f"bad duration_range {self.duration_range}"
+            )
+        slo, shi = self.severity_range
+        if not 0.0 < slo <= shi <= 1.0:
+            raise RecipeValidationError(
+                "faults", f"bad severity_range {self.severity_range}"
+            )
+
+    def mutate(self, rng: Generator) -> "FaultAxis":
+        op = int(rng.integers(0, 4))
+        if op == 0:
+            return replace(
+                self,
+                rate=_round(
+                    min(0.3, max(0.0005, self.rate * rng.uniform(0.5, 3.0))), 5
+                ),
+            )
+        if op == 1:
+            lo, hi = self.duration_range
+            lo = int(max(1, lo + rng.integers(-6, 7)))
+            hi = int(max(lo, hi + rng.integers(-10, 11)))
+            return replace(self, duration_range=(lo, hi))
+        if op == 2:
+            slo, shi = self.severity_range
+            slo = _round(max(0.05, min(1.0, slo + rng.uniform(-0.15, 0.2))), 3)
+            shi = _round(max(slo, min(1.0, shi + rng.uniform(-0.15, 0.2))), 3)
+            return replace(self, severity_range=(slo, shi))
+        kinds = list(self.kinds)
+        missing = [k for k in _ALL_FAULT_KINDS if k not in kinds]
+        if missing and (len(kinds) == 1 or rng.random() < 0.5):
+            # re-admit a missing kind, keeping enum declaration order
+            pick = missing[int(rng.integers(0, len(missing)))]
+            kinds = [k for k in _ALL_FAULT_KINDS if k in kinds or k == pick]
+        else:
+            del kinds[int(rng.integers(0, len(kinds)))]
+        return replace(self, kinds=tuple(kinds))
+
+    def make_injector(self) -> FaultInjector:
+        return FaultInjector(
+            kinds=[FaultKind(k) for k in self.kinds],
+            rate=self.rate,
+            duration_range=tuple(self.duration_range),
+            severity_range=tuple(self.severity_range),
+        )
+
+
+@dataclass(frozen=True)
+class NoiseAxis:
+    """Telemetry-noise model of the monitoring plane."""
+
+    measurement_noise: float = 0.02
+    service_scv: float = 1.0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.measurement_noise <= 0.5:
+            raise RecipeValidationError(
+                "telemetry-noise",
+                f"measurement_noise must be in [0, 0.5], got "
+                f"{self.measurement_noise}",
+            )
+        if not 0.0 <= self.service_scv <= 4.0:
+            raise RecipeValidationError(
+                "telemetry-noise",
+                f"service_scv must be in [0, 4], got {self.service_scv}",
+            )
+
+    def mutate(self, rng: Generator) -> "NoiseAxis":
+        if rng.random() < 0.7:
+            return replace(
+                self,
+                measurement_noise=_round(
+                    min(0.4, max(0.005, self.measurement_noise * rng.uniform(0.8, 2.6))),
+                    5,
+                ),
+            )
+        return replace(
+            self,
+            service_scv=_round(
+                min(4.0, max(0.2, self.service_scv * rng.uniform(0.7, 1.6))), 4
+            ),
+        )
+
+    def simulator_kwargs(self) -> dict:
+        """Only non-default values, so recipes lowering to the default
+        noise model reproduce the legacy catalog's empty
+        ``simulator_kwargs`` exactly."""
+        kwargs = {}
+        if self.measurement_noise != 0.02:
+            kwargs["measurement_noise"] = self.measurement_noise
+        if self.service_scv != 1.0:
+            kwargs["service_scv"] = self.service_scv
+        return kwargs
+
+
+@dataclass(frozen=True)
+class ServerAxis:
+    """Server heterogeneity: per-server CPU speed draws.
+
+    ``speed_range=None`` is the homogeneous fleet (no rng consumed —
+    the byte contract of every recipe without heterogeneity depends on
+    this).
+    """
+
+    speed_range: tuple | None = None
+
+    def validate(self) -> None:
+        if self.speed_range is None:
+            return
+        lo, hi = self.speed_range
+        if not 0.0 < lo <= hi:
+            raise RecipeValidationError(
+                "servers", f"bad speed_range {tuple(self.speed_range)}"
+            )
+
+    def mutate(self, rng: Generator) -> "ServerAxis":
+        if self.speed_range is None:
+            return ServerAxis(
+                speed_range=(
+                    _round(rng.uniform(0.5, 0.9), 3),
+                    _round(rng.uniform(1.0, 1.5), 3),
+                )
+            )
+        lo, hi = self.speed_range
+        if rng.random() < 0.2:
+            return ServerAxis(speed_range=None)
+        lo = _round(max(0.2, lo + rng.uniform(-0.15, 0.15)), 3)
+        hi = _round(max(lo, hi + rng.uniform(-0.15, 0.15)), 3)
+        return ServerAxis(speed_range=(lo, hi))
+
+    def apply(self, topology: NfviTopology, rng: Generator) -> None:
+        """Draw per-server speeds over ``sorted(servers)`` — the exact
+        draw order of the legacy ``heterogeneous-servers`` generator."""
+        if self.speed_range is None:
+            return
+        self.validate()
+        lo, hi = self.speed_range
+        for server_id in sorted(topology.servers):
+            topology.servers[server_id].cpu_speed = float(rng.uniform(lo, hi))

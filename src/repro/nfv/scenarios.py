@@ -7,7 +7,7 @@ fleets, ...).  An explainer that looks faithful under one regime may
 fall apart under another, so every explainer/model pairing should be
 stress-tested across a *catalog* of conditions.
 
-This module is that catalog: a registry of scenario generators, each a
+This module is that catalog: a registry of scenario builders, each a
 function of a random generator (plus scenario-specific knobs) that
 returns a fully-configured :class:`ScenarioSpec` — a placed testbed, a
 fault injector, and simulator parameters.  Everything downstream
@@ -23,6 +23,16 @@ refers to scenarios by name::
     sim = Simulator(spec.testbed, random_state=7, **spec.simulator_kwargs)
     result = sim.run(2000, fault_injector=spec.injector)
 
+Since the scenario-grammar rework, the *source of truth* for the
+catalog is :mod:`repro.nfv.grammar`: the 8 legacy regimes are
+declarative :class:`~repro.nfv.grammar.recipe.ScenarioRecipe` objects
+(see ``repro.nfv.grammar.catalog``), registered here through
+:func:`register_recipe`.  The re-expression is byte-exact — golden
+tests pin each recipe's :func:`repro.datasets.make_scenario_dataset`
+output against hashes captured before the grammar existed.  Custom
+function-style generators can still be registered with
+:func:`register_scenario`.
+
 Scenarios are deterministic: the same name and integer seed always
 produce the same testbed, schedule distribution, and (through
 :func:`repro.datasets.make_scenario_dataset`) byte-identical datasets.
@@ -32,24 +42,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.nfv.faults import FaultInjector, FaultKind
-from repro.nfv.sfc import SLA
-from repro.nfv.simulator import (
-    SimulationStream,
-    Simulator,
-    Testbed,
-    build_testbed,
-)
-from repro.nfv.topology import NfviTopology
-from repro.nfv.traffic import TrafficModel
+from repro.nfv.faults import FaultInjector
+from repro.nfv.simulator import SimulationStream, Simulator, Testbed
 from repro.utils.rng import check_random_state, spawn_rngs
 
 __all__ = [
     "ScenarioSpec",
     "register_scenario",
+    "register_recipe",
     "list_scenarios",
     "scenario_descriptions",
     "scenario_knobs",
+    "scenario_recipe",
     "build_scenario",
 ]
 
@@ -118,8 +122,12 @@ class ScenarioSpec:
         )
 
 
-#: name -> (generator, description, default knobs)
+#: name -> (builder, description, default knobs)
 _REGISTRY: dict[str, tuple] = {}
+
+#: name -> ScenarioRecipe, for scenarios registered through
+#: :func:`register_recipe` (function-style scenarios have no recipe).
+_RECIPES: dict = {}
 
 
 def register_scenario(name: str, description: str, **default_knobs):
@@ -137,6 +145,53 @@ def register_scenario(name: str, description: str, **default_knobs):
         return fn
 
     return decorator
+
+
+def register_recipe(recipe, *, replace: bool = False) -> None:
+    """Register a grammar :class:`ScenarioRecipe` as a named scenario.
+
+    The recipe's ``knob_paths`` become the scenario's tunable knobs
+    (``build_scenario(name, knob=value)`` routes overrides through
+    :meth:`ScenarioRecipe.with_knobs`), and the recipe itself stays
+    reachable via :func:`scenario_recipe` for mutation and search.
+
+    ``replace=True`` allows re-registration under an existing name —
+    used when reloading generated-recipe stores, never by the catalog.
+    """
+    from repro.nfv.grammar.recipe import ScenarioRecipe
+
+    if not isinstance(recipe, ScenarioRecipe):
+        raise TypeError(
+            f"recipe must be a ScenarioRecipe, got {type(recipe).__name__}"
+        )
+    if recipe.name in _REGISTRY and not replace:
+        raise ValueError(f"scenario {recipe.name!r} is already registered")
+
+    def _builder(rng, **knobs):
+        return recipe.with_knobs(**knobs).build(rng)
+
+    _REGISTRY[recipe.name] = (
+        _builder,
+        recipe.description,
+        recipe.knob_defaults(),
+    )
+    _RECIPES[recipe.name] = recipe
+
+
+def scenario_recipe(name: str):
+    """The :class:`ScenarioRecipe` behind one registered scenario.
+
+    Raises ``KeyError`` for unknown scenarios and for function-style
+    scenarios that were registered without a recipe.
+    """
+    _lookup(name)  # raises the canonical unknown-scenario KeyError
+    try:
+        return _RECIPES[name]
+    except KeyError:
+        raise KeyError(
+            f"scenario {name!r} is not recipe-backed; recipe-backed "
+            f"scenarios: {sorted(_RECIPES)}"
+        ) from None
 
 
 def list_scenarios() -> list[str]:
@@ -195,166 +250,13 @@ def build_scenario(name: str, *, random_state=None, **knobs) -> ScenarioSpec:
     return spec
 
 
-def _spec(testbed, injector, simulator_kwargs=None, default_epochs=2000):
-    """Internal helper: generators fill name/description via the registry."""
-    return ScenarioSpec(
-        name="",
-        description="",
-        testbed=testbed,
-        injector=injector,
-        simulator_kwargs=dict(simulator_kwargs or {}),
-        default_epochs=default_epochs,
-    )
-
-
 # ----------------------------------------------------------------------
-# the catalog
+# the catalog: grammar recipes, registered at import time
 # ----------------------------------------------------------------------
-@register_scenario(
-    "baseline",
-    "the paper's canonical testbed: mixed faults at a low rate",
-    base_kpps=400.0,
-    fault_rate=0.01,
-)
-def _baseline(rng, *, base_kpps, fault_rate):
-    testbed = build_testbed(base_kpps=base_kpps, random_state=rng)
-    return _spec(testbed, FaultInjector(rate=fault_rate))
+# Imported at the bottom so ScenarioSpec and the registry exist before
+# the grammar package (whose recipes lower to ScenarioSpec) loads.
+from repro.nfv.grammar.catalog import CATALOG_RECIPES  # noqa: E402
 
-
-@register_scenario(
-    "bursty-traffic",
-    "CDN-style load: frequent heavy-tailed flash crowds, surge faults",
-    base_kpps=380.0,
-    flash_crowd_rate=0.02,
-    flash_magnitude=2.6,
-    fault_rate=0.012,
-)
-def _bursty_traffic(rng, *, base_kpps, flash_crowd_rate, flash_magnitude, fault_rate):
-    testbed = build_testbed(base_kpps=base_kpps, random_state=rng)
-    testbed.traffic = TrafficModel(
-        base_kpps=base_kpps,
-        diurnal_amplitude=0.2,
-        noise_sigma=0.15,
-        flash_crowd_rate=flash_crowd_rate,
-        flash_magnitude=flash_magnitude,
-        flash_duration_epochs=20,
-    )
-    injector = FaultInjector(
-        kinds=[FaultKind.TRAFFIC_SURGE, FaultKind.CPU_CONTENTION],
-        rate=fault_rate,
-        duration_range=(8, 30),
-    )
-    return _spec(testbed, injector)
-
-
-@register_scenario(
-    "diurnal",
-    "ISP-style day/night swing: violations cluster at the daily peak",
-    base_kpps=420.0,
-    diurnal_amplitude=0.6,
-    period_epochs=288,
-    fault_rate=0.008,
-)
-def _diurnal(rng, *, base_kpps, diurnal_amplitude, period_epochs, fault_rate):
-    testbed = build_testbed(base_kpps=base_kpps, random_state=rng)
-    testbed.traffic = TrafficModel(
-        base_kpps=base_kpps,
-        diurnal_amplitude=diurnal_amplitude,
-        period_epochs=period_epochs,
-        noise_sigma=0.05,
-        flash_crowd_rate=0.001,
-    )
-    return _spec(testbed, FaultInjector(rate=fault_rate))
-
-
-@register_scenario(
-    "fault-storm",
-    "rollout gone wrong: short, frequent, severe faults of every kind",
-    fault_rate=0.06,
-    severity_range=(0.5, 1.0),
-)
-def _fault_storm(rng, *, fault_rate, severity_range):
-    testbed = build_testbed(random_state=rng)
-    injector = FaultInjector(
-        rate=fault_rate,
-        duration_range=(5, 20),
-        severity_range=severity_range,
-    )
-    return _spec(testbed, injector)
-
-
-@register_scenario(
-    "cascading-overload",
-    "dense co-location near the knee: contention faults cascade",
-    base_kpps=450.0,
-    n_background=4,
-    fault_rate=0.015,
-)
-def _cascading_overload(rng, *, base_kpps, n_background, fault_rate):
-    testbed = build_testbed(
-        base_kpps=base_kpps, n_background=n_background, random_state=rng
-    )
-    injector = FaultInjector(
-        kinds=[FaultKind.CPU_CONTENTION, FaultKind.TRAFFIC_SURGE],
-        rate=fault_rate,
-        duration_range=(10, 30),
-        severity_range=(0.5, 0.9),
-    )
-    return _spec(testbed, injector)
-
-
-@register_scenario(
-    "noisy-telemetry",
-    "degraded monitoring plane: 12% relative measurement noise",
-    measurement_noise=0.12,
-    fault_rate=0.01,
-)
-def _noisy_telemetry(rng, *, measurement_noise, fault_rate):
-    testbed = build_testbed(random_state=rng)
-    return _spec(
-        testbed,
-        FaultInjector(rate=fault_rate),
-        simulator_kwargs={"measurement_noise": measurement_noise},
-    )
-
-
-@register_scenario(
-    "long-chain",
-    "an 8-VNF service chain spread over six servers, relaxed SLA",
-    base_kpps=320.0,
-    fault_rate=0.01,
-)
-def _long_chain(rng, *, base_kpps, fault_rate):
-    topology = NfviTopology.leaf_spine(
-        n_spine=2, n_leaf=2, servers_per_leaf=3, cpu_cores=8.0, mem_mb=16384.0
-    )
-    testbed = build_testbed(
-        chain_types=(
-            "firewall", "nat", "ids", "lb", "dpi", "wanopt", "cache",
-            "transcoder",
-        ),
-        base_kpps=base_kpps,
-        sla=SLA(max_latency_ms=5.0, max_loss_rate=0.01),
-        topology=topology,
-        random_state=rng,
-    )
-    return _spec(testbed, FaultInjector(rate=fault_rate))
-
-
-@register_scenario(
-    "heterogeneous-servers",
-    "mixed-generation fleet: per-server CPU speeds in [0.6, 1.4]",
-    speed_range=(0.6, 1.4),
-    fault_rate=0.01,
-)
-def _heterogeneous_servers(rng, *, speed_range, fault_rate):
-    lo, hi = speed_range
-    if not 0.0 < lo <= hi:
-        raise ValueError(f"bad speed_range {speed_range}")
-    topology = NfviTopology.leaf_spine(
-        n_spine=2, n_leaf=2, servers_per_leaf=2, cpu_cores=8.0, mem_mb=16384.0
-    )
-    for server_id in sorted(topology.servers):
-        topology.servers[server_id].cpu_speed = float(rng.uniform(lo, hi))
-    testbed = build_testbed(topology=topology, random_state=rng)
-    return _spec(testbed, FaultInjector(rate=fault_rate))
+for _recipe in CATALOG_RECIPES.values():
+    register_recipe(_recipe)
+del _recipe

@@ -219,7 +219,8 @@ class TestEngineDeterminism:
         )
         run = parallel_engine.run(_stream())
         assert run.format_table(timing=False) == serial
-        assert run.extras == {"backend": backend, "workers": 2}
+        assert run.extras["backend"] == backend
+        assert run.extras["workers"] == 2
 
     def test_reset_reproduces_the_first_run(self, report):
         engine = StreamingDiagnosisEngine(**FAST)
@@ -477,7 +478,8 @@ class TestStreamReport:
     def test_scenario_and_seed_recorded(self, report):
         assert report.scenario == "fault-storm"
         assert report.seed == 7
-        assert report.extras == {"backend": "serial", "workers": 1}
+        assert report.extras["backend"] == "serial"
+        assert report.extras["workers"] == 1
 
     def test_timing_column_toggles(self, report):
         with_timing = report.format_table()
@@ -534,3 +536,55 @@ class TestGoldenTable:
             pytest.skip(f"regenerated {GOLDEN_PATH}")
         with open(GOLDEN_PATH) as fh:
             assert table == fh.read()
+
+
+class TestPackedWindowAttribution:
+    """Per-window attribution rides the packed TreeSHAP kernel.
+
+    ``_explain_window`` goes through ``pipeline.diagnose_batch``, whose
+    batch path dispatches to the explainer's vectorized
+    ``explain_batch`` override when one exists — for ``tree_shap`` on a
+    forest that is the packed kernel.  These tests pin (a) the voucher
+    in ``StreamReport.extras`` and (b) byte-equality of the report when
+    the packed snapshot is forcibly disabled (per-tree recursion
+    fallback)."""
+
+    CONFIG = dict(
+        window_epochs=64,
+        refit_every=2,
+        explainer_method="tree_shap",
+        explain_per_window=4,
+        random_state=7,
+    )
+
+    def _forest_engine(self):
+        from repro.core.matrix import default_model_factories
+
+        return StreamingDiagnosisEngine(
+            default_model_factories()["random_forest"], **self.CONFIG
+        )
+
+    def test_report_vouches_vectorized_attribution(self):
+        report = self._forest_engine().run(_stream())
+        assert report.extras["vectorized_attribution"] is True
+        assert report.windows  # the run actually explained windows
+
+    def test_packed_path_byte_identical_to_recursion(self, monkeypatch):
+        from repro.core.explainers.shap_tree import TreeShapExplainer
+
+        packed = self._forest_engine().run(_stream())
+        monkeypatch.setattr(
+            TreeShapExplainer, "_packed_column", lambda self: (None, None)
+        )
+        fallback = self._forest_engine().run(_stream())
+        assert packed.format_table(timing=False) == fallback.format_table(
+            timing=False
+        )
+
+    def test_warmup_only_run_has_no_voucher(self):
+        """No pipeline was ever fit — the voucher is absent, not False."""
+        report = StreamingDiagnosisEngine(**self.CONFIG).run(
+            _stream(n_epochs=32, batch_epochs=32)
+        )
+        assert "vectorized_attribution" not in report.extras
+        assert report.extras["backend"] == "serial"

@@ -140,10 +140,30 @@ class TestFaultInjector:
             assert 10 <= event.duration <= 12
             assert event.end_epoch <= 12
 
-    def test_no_event_when_minimum_duration_does_not_fit(self, placed_chain):
+    def test_zero_length_feasible_window_rejected(self, placed_chain):
+        """A run shorter than the minimum fault duration has no feasible
+        fault window at all — with a positive rate that is an explicit
+        error now, not a silently empty schedule."""
         injector = FaultInjector(rate=1.0, duration_range=(10, 40))
-        for seed in range(20):
-            assert injector.schedule(9, placed_chain, random_state=seed) == []
+        with pytest.raises(ValueError, match="no feasible fault window"):
+            injector.schedule(9, placed_chain, random_state=0)
+
+    def test_zero_length_window_error_message(self, placed_chain):
+        injector = FaultInjector(rate=0.2, duration_range=(15, 20))
+        with pytest.raises(
+            ValueError,
+            match=(
+                r"no feasible fault window: minimum fault duration 15 "
+                r"does not fit the 9-epoch run; shorten duration_range, "
+                r"extend the run, or set rate=0\.0"
+            ),
+        ):
+            injector.schedule(9, placed_chain, random_state=0)
+
+    def test_zero_rate_short_run_still_allowed(self, placed_chain):
+        """rate=0.0 means faults are off — a short run is fine then."""
+        injector = FaultInjector(rate=0.0, duration_range=(10, 40))
+        assert injector.schedule(9, placed_chain, random_state=0) == []
 
     def test_boundary_schedules_non_overlapping(self, placed_chain):
         injector = FaultInjector(rate=0.5, duration_range=(3, 30))

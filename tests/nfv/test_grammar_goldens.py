@@ -1,0 +1,120 @@
+"""Golden byte-equivalence pin: grammar recipes == legacy generators.
+
+``tests/nfv/data/grammar_golden.json`` was captured from the
+hand-written scenario generators *before* the catalog was re-expressed
+as grammar recipes.  This test rebuilds every catalog scenario through
+the recipe path (registry name -> recipe -> ``ScenarioSpec`` ->
+``make_scenario_dataset``) and checks the feature matrix, labels,
+violation rate, and the full fault-event schedule hash-for-hash
+against that capture — the grammar is only allowed to be a refactor,
+never a behaviour change.
+
+After an *intentional* change to the simulator, the testbed builder,
+or the catalog parameters, regenerate and eyeball the diff::
+
+    REGEN_GRAMMAR_GOLDEN=1 PYTHONPATH=src python -m pytest \\
+        tests/nfv/test_grammar_goldens.py -q
+
+Never regenerate to silence an unexplained diff — a byte change here
+means seeded scenario datasets no longer reproduce across versions.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.datasets import make_scenario_dataset
+from repro.nfv.grammar import CATALOG_RECIPES
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "grammar_golden.json"
+)
+
+N_EPOCHS = 150
+SEEDS = (11, 29)
+
+
+def _capture_entry(name: str, seed: int) -> dict:
+    """One (scenario, seed) golden entry, in the capture's format."""
+    dataset = make_scenario_dataset(name, N_EPOCHS, random_state=seed)
+    result = dataset.result
+    return {
+        "X_sha256": hashlib.sha256(
+            dataset.X.values.tobytes()
+        ).hexdigest(),
+        "y_sha256": hashlib.sha256(dataset.y.tobytes()).hexdigest(),
+        "n_rows": int(dataset.X.values.shape[0]),
+        "n_features": int(dataset.X.values.shape[1]),
+        "violation_rate": round(float(dataset.y.mean()), 10),
+        "events": [
+            [
+                event.kind.value,
+                int(event.start_epoch),
+                int(event.duration),
+                round(float(event.severity), 12),
+                event.vnf_index,
+                event.server_id,
+            ]
+            for event in result.events
+        ],
+    }
+
+
+def _capture() -> dict:
+    return {
+        "version": 1,
+        "n_epochs": N_EPOCHS,
+        "seeds": list(SEEDS),
+        "task": "sla_violation",
+        "scenarios": {
+            name: {str(seed): _capture_entry(name, seed) for seed in SEEDS}
+            for name in CATALOG_RECIPES
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if os.environ.get("REGEN_GRAMMAR_GOLDEN"):
+        payload = _capture()
+        with open(GOLDEN_PATH, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+class TestGrammarGoldens:
+    def test_capture_parameters_match(self, golden):
+        assert golden["version"] == 1
+        assert golden["n_epochs"] == N_EPOCHS
+        assert golden["seeds"] == list(SEEDS)
+        assert set(golden["scenarios"]) == set(CATALOG_RECIPES)
+
+    @pytest.mark.parametrize("name", sorted(CATALOG_RECIPES))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_recipe_path_reproduces_pre_grammar_bytes(
+        self, golden, name, seed
+    ):
+        expected = golden["scenarios"][name][str(seed)]
+        actual = _capture_entry(name, seed)
+        # compare hashes first for a readable failure, then everything
+        assert actual["X_sha256"] == expected["X_sha256"]
+        assert actual["y_sha256"] == expected["y_sha256"]
+        assert actual == expected
+
+    @pytest.mark.parametrize("name", sorted(CATALOG_RECIPES))
+    def test_direct_recipe_build_matches_registry_path(self, name):
+        """``make_scenario_dataset`` accepts the recipe object itself;
+        the result is byte-identical to the registry-name path."""
+        by_name = make_scenario_dataset(name, 96, random_state=SEEDS[0])
+        by_recipe = make_scenario_dataset(
+            CATALOG_RECIPES[name], 96, random_state=SEEDS[0]
+        )
+        assert (
+            by_name.X.values.tobytes() == by_recipe.X.values.tobytes()
+        )
+        assert (by_name.y == by_recipe.y).all()
