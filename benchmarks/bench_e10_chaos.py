@@ -1,0 +1,150 @@
+"""E19 — chaos recovery and the price of resilience.
+
+Two claims about the fault-tolerant execution layer (PR 10):
+
+* **recovery equality** (unconditional): a streaming diagnosis run
+  under a full fault storm — every task attempt hit by a transient
+  error, every telemetry batch shadowed by a corrupted duplicate —
+  produces a report **byte-identical** to the fault-free run.  The
+  storm is real (the executor's event log proves retries happened; the
+  stream log proves batches were skipped), yet no injected fault leaks
+  a single byte into the diagnosis.
+* **overhead** (timing-gated, <= 5%): wrapping the executor in
+  :class:`~repro.resilience.ResilientExecutor` with no faults firing
+  costs at most 5% wall clock over the plain backend — per-task
+  dispatch, timeout accounting, and event plumbing are noise next to
+  the explanation work they guard.
+
+Correctness is never gated on ``--benchmark-disable`` (the CI smoke
+mode); only the overhead ratio assertion is.
+"""
+
+from benchmarks._util import timed, timing_enabled
+from benchmarks.conftest import SEED, save_result
+from repro.chaos import ChaosFault, ChaosPolicy
+from repro.core.stream import StreamingDiagnosisEngine
+from repro.datasets import stream_scenario_telemetry
+from repro.resilience import ResilientExecutor
+
+EPOCHS = 192
+CONFIG = dict(
+    window_epochs=48,
+    refit_every=2,
+    # stay above 16 (the vectorized explainer's chunk size) so windows
+    # fan multiple tasks through the executor under test
+    explain_per_window=24,
+    explainer_kwargs={"n_samples": 32},
+    random_state=SEED,
+)
+
+
+def _stream():
+    return stream_scenario_telemetry(
+        "fault-storm", EPOCHS, batch_epochs=48, random_state=SEED
+    )
+
+
+def _run_plain():
+    report = StreamingDiagnosisEngine(**CONFIG).run(_stream())
+    return report.format_table(timing=False)
+
+
+def _run_resilient():
+    engine = StreamingDiagnosisEngine(**CONFIG)
+    with ResilientExecutor("serial", retries=2) as executor:
+        report = engine.run(_stream(), executor=executor)
+    return report.format_table(timing=False)
+
+
+def _storm_policy():
+    return ChaosPolicy(
+        0,
+        [
+            ChaosFault("transient", 1.0, attempts=1),
+            ChaosFault("corrupt-batch", 1.0),
+        ],
+    )
+
+
+def test_chaos_storm_recovers_byte_identical(benchmark):
+    clean, clean_seconds = timed(_run_plain)
+
+    policy = _storm_policy()
+    state = {}
+
+    def storm():
+        engine = StreamingDiagnosisEngine(on_malformed="skip", **CONFIG)
+        with ResilientExecutor(
+            "serial", retries=3, chaos=policy
+        ) as executor:
+            report = engine.run(
+                policy.corrupt_stream(_stream()), executor=executor
+            )
+        state["executor"] = executor
+        state["report"] = report
+        return report.format_table(timing=False)
+
+    table = benchmark.pedantic(storm, rounds=1, iterations=1)
+
+    # the storm actually happened ...
+    executor, report = state["executor"], state["report"]
+    retries = sum(1 for e in executor.events if e.kind == "task-retry")
+    skipped = [e for e in report.events if e.kind == "skipped-batch"]
+    assert retries > 0, "no transient fault ever fired"
+    assert len(skipped) == EPOCHS // 48, "not every batch was shadowed"
+    # ... and not one byte of it reached the report (unconditional)
+    assert table == clean, (
+        "chaos run diverged from the fault-free run"
+    )
+
+    lines = [
+        f"storm: transient=1.0 per task attempt, corrupt-batch=1.0 "
+        f"per batch, over {EPOCHS} epochs "
+        f"(window {CONFIG['window_epochs']})",
+        f"injected + survived: {retries} task retries, "
+        f"{len(skipped)} corrupted batches skipped "
+        f"({executor.event_summary()})",
+        "recovery: report byte-identical to the fault-free run",
+    ]
+    if timing_enabled(benchmark):
+        storm_seconds = benchmark.stats["median"]
+        lines.append(
+            f"wall clock: {clean_seconds:.2f}s fault-free, "
+            f"{storm_seconds:.2f}s under the storm "
+            f"({storm_seconds / clean_seconds:.2f}x)"
+        )
+    save_result("E19 chaos-storm recovery", "\n".join(lines))
+
+
+def test_resilience_overhead_under_5_percent(benchmark):
+    plain_table, _ = timed(_run_plain)
+    resilient_table = benchmark.pedantic(
+        _run_resilient, rounds=1, iterations=1
+    )
+    # equality first, unconditionally: the wrapper must be transparent
+    assert resilient_table == plain_table
+
+    lines = [
+        f"workload: {EPOCHS} epochs, "
+        f"{CONFIG['explain_per_window']} explains/window, serial backend",
+        "equality: ResilientExecutor report byte-identical to the "
+        "plain executor's",
+    ]
+    if timing_enabled(benchmark):
+        # best-of-3 on both sides: the wrapper tax is microseconds per
+        # task, so single-shot noise would dominate the ratio
+        plain_seconds = min(
+            timed(_run_plain)[1] for _ in range(3)
+        )
+        resilient_seconds = min(
+            timed(_run_resilient)[1] for _ in range(3)
+        )
+        ratio = resilient_seconds / plain_seconds
+        lines.append(
+            f"overhead: {plain_seconds:.2f}s plain vs "
+            f"{resilient_seconds:.2f}s resilient ({ratio:.3f}x)"
+        )
+        assert ratio <= 1.05, (
+            f"resilience wrapper costs {ratio:.3f}x (> 1.05x budget)"
+        )
+    save_result("E19b resilience overhead", "\n".join(lines))

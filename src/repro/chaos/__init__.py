@@ -1,0 +1,29 @@
+"""Seeded fault injection for the diagnosis stack itself.
+
+:mod:`repro.nfv.faults` injects faults into the *simulated network*;
+this package injects them into the *diagnosis system* — worker
+crashes, hangs, transient exceptions, broken pools, and corrupted
+telemetry batches — at deterministic, seed-addressed points, so that
+the resilience layer's recovery behaviour is itself a reproducible
+experiment.  :class:`ChaosPolicy` composes :class:`ChaosFault`
+declarations; ``repro chaos run`` drives a full chaos-vs-clean twin
+run and byte-compares the reports (the chaos invariant, end to end).
+"""
+
+from repro.chaos.policy import (
+    FAULT_KINDS,
+    ChaosFault,
+    ChaosPolicy,
+    InjectedPoolBreak,
+    InjectedTransientError,
+    InjectedWorkerCrash,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosFault",
+    "ChaosPolicy",
+    "InjectedPoolBreak",
+    "InjectedTransientError",
+    "InjectedWorkerCrash",
+]

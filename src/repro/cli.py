@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands mirror the library's workflow::
+Eleven subcommands mirror the library's workflow::
 
     repro simulate      --epochs 2000 --seed 7 --out trace.npz
     repro train         --epochs 3000 --seed 7 --model random_forest
@@ -10,6 +10,7 @@ Ten subcommands mirror the library's workflow::
     repro scenarios     search --generations 2 --seed 0 --store gen.json
     repro stream        run --scenario fault-storm --window 64 ...
     repro serve         run --tenants 4 --epochs 256 ...
+    repro chaos         run --transient 0.25 --corrupt 0.25 --seed 0
     repro lint          src tests --baseline lint-baseline.json
     repro validate
 
@@ -31,6 +32,13 @@ multiplexes many tenant streams through one
 :class:`~repro.serve.DiagnosisService` — shared executor and explainer
 cache, per-tenant seeds, backpressure, and snapshot/restore
 (``--snapshot-epoch``/``--restore``; see ``docs/serving.md``);
+``chaos`` runs the streaming engine under seeded fault injection
+(worker crashes, hangs, transient errors, pool collapses, corrupted
+batches — :mod:`repro.chaos`) behind the fault-tolerant executor
+(:mod:`repro.resilience`) and verifies the recovery invariant: the
+final report is byte-identical to a fault-free twin run, or the
+command fails closed with one named error — silent divergence is the
+only failing exit (see ``docs/resilience.md``);
 ``lint`` runs
 the :mod:`repro.analysis` static analyzer over source trees, enforcing
 the determinism / picklability / lock-discipline contracts (see
@@ -38,7 +46,7 @@ the determinism / picklability / lock-discipline contracts (see
 closed-form ground truth (a smoke test for installations).
 
 The fleet-scale commands (``explain-batch``, ``scenarios run``,
-``stream run``, and ``serve run``) accept ``--workers N --backend
+``stream run``, ``serve run``, and ``chaos run``) accept ``--workers N --backend
 {serial,thread,process}`` to fan work out across an execution backend
 (:mod:`repro.core.executor`); results are identical to the serial run
 for a fixed ``--seed``.
@@ -91,6 +99,17 @@ def _nonnegative_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _rate(text: str) -> float:
+    """argparse type: a probability in [0, 1], with a readable error."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value}")
     return value
 
 
@@ -367,6 +386,115 @@ def build_parser() -> argparse.ArgumentParser:
              "become byte-comparable across runs, backends, restarts)",
     )
     _add_parallel_args(vrun)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault injection against the streaming engine",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    crun = chaos_sub.add_parser(
+        "run",
+        help="stream a scenario under injected faults and verify the "
+             "recovery invariant against a fault-free twin run",
+    )
+    crun.add_argument(
+        "--scenario", default="fault-storm",
+        help="scenario name (see: repro scenarios list)",
+    )
+    crun.add_argument(
+        "--epochs", type=_positive_int, default=192,
+        help="streaming horizon in epochs",
+    )
+    crun.add_argument(
+        "--window", type=_positive_int, default=48,
+        help="epochs per diagnosis window",
+    )
+    crun.add_argument(
+        "--refit-every", type=_positive_int, default=2,
+        help="refit the model + explainer every N windows",
+    )
+    crun.add_argument(
+        "--explain-per-window", type=_nonnegative_int, default=24,
+        help="cap on violation epochs diagnosed per window; keep above "
+             "16 (the vectorized explainer's chunk size) so diagnosis "
+             "actually fans tasks out through the fault-injected executor",
+    )
+    crun.add_argument(
+        "--batch-epochs", type=_positive_int, default=None,
+        help="epoch-batch granularity of the telemetry stream "
+             "(default: --window; never changes results)",
+    )
+    crun.add_argument(
+        "--method", default="kernel_shap",
+        help="explainer (kernel_shap, lime, sampling_shapley, ...)",
+    )
+    crun.add_argument(
+        "--model", choices=_MODEL_NAMES, default="logistic_regression"
+    )
+    crun.add_argument("--seed", type=int, default=0)
+    crun.add_argument(
+        "--chaos-seed", type=_nonnegative_int, default=0,
+        help="seed of the fault-injection draws (independent of --seed, "
+             "so the same workload can be hit with different fault plans)",
+    )
+    crun.add_argument(
+        "--transient", type=_rate, default=0.25,
+        help="per-task-attempt rate of injected transient errors",
+    )
+    crun.add_argument(
+        "--crash", type=_rate, default=0.0,
+        help="per-task-attempt rate of injected worker crashes",
+    )
+    crun.add_argument(
+        "--hang", type=_rate, default=0.0,
+        help="per-task-attempt rate of injected hangs (pair with "
+             "--task-timeout below --hang-seconds to exercise timeouts)",
+    )
+    crun.add_argument(
+        "--pool-break", type=_rate, default=0.0,
+        help="per-task-attempt rate of injected pool collapses "
+             "(rebuild-then-degrade path; pooled backends only)",
+    )
+    crun.add_argument(
+        "--corrupt", type=_rate, default=0.25,
+        help="per-batch rate of injected corrupted telemetry batches",
+    )
+    crun.add_argument(
+        "--fault-attempts", type=_positive_int, default=1,
+        help="consecutive attempts of one task a fired task-fault "
+             "poisons; above --retries it becomes a permanent fault "
+             "that must surface as a named error",
+    )
+    crun.add_argument(
+        "--corrupt-mode", choices=("duplicate", "replace"),
+        default="duplicate",
+        help="duplicate: corrupted copy precedes the real batch (no "
+             "telemetry lost — recoverable); replace: corrupted copy "
+             "substitutes it (telemetry lost — must fail closed)",
+    )
+    crun.add_argument(
+        "--on-malformed", choices=("raise", "skip"), default="skip",
+        help="engine policy for malformed batches: fail fast, or skip "
+             "and record a named stream event",
+    )
+    crun.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-task budget in seconds (default: no timeout)",
+    )
+    crun.add_argument(
+        "--retries", type=_nonnegative_int, default=2,
+        help="per-task retry budget before the run fails closed",
+    )
+    crun.add_argument(
+        "--hang-seconds", type=float, default=0.05,
+        help="how long an injected hang sleeps",
+    )
+    crun.add_argument(
+        "--no-timing", action="store_true",
+        help="drop wall-clock output (everything but the backend line "
+             "becomes byte-comparable across runs and backends)",
+    )
+    _add_parallel_args(crun)
 
     lint = sub.add_parser(
         "lint",
@@ -883,6 +1011,156 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import time
+
+    from repro.chaos import ChaosFault, ChaosPolicy
+    from repro.core.explainers import EXPLAINER_METHODS
+    from repro.core.stream import StreamingDiagnosisEngine
+    from repro.datasets import stream_scenario_telemetry
+    from repro.nfv.scenarios import list_scenarios
+
+    if args.scenario not in list_scenarios():
+        print(
+            f"unknown scenario {args.scenario!r}; see: repro scenarios list"
+        )
+        return 1
+    if args.method not in EXPLAINER_METHODS:
+        print(
+            f"unknown explainer {args.method!r}; choose from "
+            f"{', '.join(EXPLAINER_METHODS)}"
+        )
+        return 1
+    faults = [
+        ChaosFault(kind, rate, attempts=args.fault_attempts)
+        for kind, rate in (
+            ("transient", args.transient),
+            ("crash", args.crash),
+            ("hang", args.hang),
+            ("pool-break", args.pool_break),
+        )
+        if rate > 0
+    ]
+    if args.corrupt > 0:
+        faults.append(ChaosFault("corrupt-batch", args.corrupt))
+    if not faults:
+        print("every fault rate is zero; nothing to inject")
+        return 1
+
+    from repro.core.stream import MalformedBatchError
+    from repro.resilience import ResilienceError, ResilientExecutor
+
+    policy = ChaosPolicy(
+        args.chaos_seed, faults, hang_seconds=args.hang_seconds
+    )
+    batch_epochs = args.batch_epochs or args.window
+    factory = _model_factories()[args.model]
+    engine_kwargs = dict(
+        window_epochs=args.window,
+        refit_every=args.refit_every,
+        explainer_method=args.method,
+        explain_per_window=args.explain_per_window,
+        random_state=args.seed,
+    )
+
+    def make_stream():
+        return stream_scenario_telemetry(
+            args.scenario,
+            args.epochs,
+            batch_epochs=batch_epochs,
+            random_state=args.seed,
+        )
+
+    knobs = " ".join(f"{f.kind}={f.rate:g}" for f in faults)
+    print(
+        f"chaos run: scenario={args.scenario} epochs={args.epochs} "
+        f"window={args.window} seed={args.seed} "
+        f"chaos-seed={args.chaos_seed}"
+    )
+    print(
+        f"policy: {knobs} (attempts={args.fault_attempts}, "
+        f"corrupt-mode={args.corrupt_mode}, "
+        f"on-malformed={args.on_malformed}, retries={args.retries}"
+        + (
+            f", task-timeout={args.task_timeout:g}s"
+            if args.task_timeout is not None
+            else ""
+        )
+        + ")"
+    )
+
+    # The fault-free twin: same workload, no chaos, default executor.
+    # Its report is the byte-comparison reference for the invariant.
+    twin = StreamingDiagnosisEngine(factory, **engine_kwargs)
+    clean_table = twin.run(make_stream()).format_table(timing=False)
+
+    engine = StreamingDiagnosisEngine(
+        factory, on_malformed=args.on_malformed, **engine_kwargs
+    )
+    named_error: Exception | None = None
+    report = None
+    start = time.perf_counter()  # repro: lint-ignore[D103] opt-out via --no-timing
+    with ResilientExecutor(
+        args.backend,
+        args.workers,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        chaos=policy,
+    ) as executor:
+        try:
+            report = engine.run(
+                policy.corrupt_stream(
+                    make_stream(), mode=args.corrupt_mode
+                ),
+                executor=executor,
+            )
+        except (MalformedBatchError, ResilienceError) as exc:
+            named_error = exc
+    elapsed = time.perf_counter() - start  # repro: lint-ignore[D103] opt-out via --no-timing
+
+    print()
+    if report is not None:
+        print(report.format_table(timing=not args.no_timing))
+        print()
+        print(report.format_events())
+    print(f"resilience: {executor.event_summary()}")
+    print(
+        f"backend={executor.backend}"
+        + (
+            f" x{executor.workers}"
+            if executor.backend != "serial"
+            else ""
+        )
+        + ("" if args.no_timing else f"; {elapsed:.2f}s total")
+    )
+
+    if named_error is not None:
+        print(
+            f"verdict: failed closed — "
+            f"{type(named_error).__name__}: {named_error}"
+        )
+        return 0
+    if report.format_table(timing=False) == clean_table:
+        print(
+            "verdict: recovered — report byte-identical to the "
+            "fault-free run"
+        )
+        return 0
+    skipped = [e for e in report.events if e.kind == "skipped-batch"]
+    if skipped:
+        print(
+            f"verdict: degraded — {len(skipped)} corrupted batch(es) "
+            "skipped and recorded; the report reflects the surviving "
+            "stream (lost telemetry cannot be byte-identical)"
+        )
+        return 0
+    print(
+        "verdict: SILENT DIVERGENCE — chaos report differs from the "
+        "fault-free run with no recorded cause"
+    )
+    return 1
+
+
 def _cmd_lint(args) -> int:
     return run_lint_command(args)
 
@@ -930,6 +1208,7 @@ def main(argv=None) -> int:
         "scenarios": _cmd_scenarios,
         "stream": _cmd_stream,
         "serve": _cmd_serve,
+        "chaos": _cmd_chaos,
         "lint": _cmd_lint,
         "validate": _cmd_validate,
     }

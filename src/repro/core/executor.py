@@ -38,6 +38,7 @@ import multiprocessing
 import os
 import sys
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.utils.rng import spawn_seeds
@@ -104,8 +105,31 @@ class Executor:
         items = list(items)
         return self.map(fn, items, spawn_seeds(random_state, len(items)))
 
+    def submit(self, fn, *args):
+        """Dispatch one task; return a future with ``.result(timeout)``.
+
+        The single-task sibling of :meth:`map`, used by
+        :class:`repro.resilience.ResilientExecutor` to own dispatch,
+        timeout, and retry per task instead of per batch.  Pooled
+        backends return the pool's native future; the serial backend
+        runs inline and returns an already-resolved
+        :class:`_ImmediateFuture`.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release pooled workers (idempotent; serial is a no-op)."""
+
+    def abandon(self) -> None:
+        """Release without waiting for in-flight tasks.
+
+        The hung-worker escape hatch: :meth:`close` on a pooled backend
+        joins its workers, which never returns if one of them is stuck.
+        Default is :meth:`close`; pooled backends override with a
+        no-wait shutdown that cancels queued tasks and leaves running
+        ones to finish unobserved.
+        """
+        self.close()
 
     def __enter__(self) -> "Executor":
         return self
@@ -115,6 +139,39 @@ class Executor:
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"{type(self).__name__}(workers={self.workers})"
+
+
+class _ImmediateFuture:
+    """Already-resolved future for :meth:`SerialExecutor.submit`.
+
+    Runs the task inline at construction, capturing the result or the
+    exception, plus the task's wall-clock ``duration`` so a resilience
+    wrapper can detect post hoc that an inline task blew its timeout
+    budget (the serial backend has no second thread to interrupt from).
+    """
+
+    def __init__(self, fn, args):
+        start = time.perf_counter()  # repro: lint-ignore[D103] feeds post-hoc timeout detection only, never report bytes
+        try:
+            self._result = fn(*args)
+            self._exception = None
+        except BaseException as exc:
+            self._result = None
+            self._exception = exc
+        self.duration = time.perf_counter() - start  # repro: lint-ignore[D103] feeds post-hoc timeout detection only, never report bytes
+
+    def result(self, timeout=None):
+        """The captured result; re-raises the captured exception."""
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def cancel(self) -> bool:
+        """Already ran — never cancellable."""
+        return False
+
+    def done(self) -> bool:
+        return True
 
 
 class SerialExecutor(Executor):
@@ -133,6 +190,9 @@ class SerialExecutor(Executor):
 
     def imap(self, fn, *iterables):
         return (fn(*args) for args in zip(*iterables))
+
+    def submit(self, fn, *args) -> _ImmediateFuture:
+        return _ImmediateFuture(fn, args)
 
 
 class ThreadExecutor(Executor):
@@ -159,9 +219,17 @@ class ThreadExecutor(Executor):
     def imap(self, fn, *iterables):
         return self._ensure_pool().map(fn, *iterables)
 
+    def submit(self, fn, *args):
+        return self._ensure_pool().submit(fn, *args)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def abandon(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
 
@@ -207,9 +275,17 @@ class ProcessExecutor(Executor):
         # explanation chunks), so latency balance beats batching
         return self._ensure_pool().map(fn, *iterables, chunksize=1)
 
+    def submit(self, fn, *args):
+        return self._ensure_pool().submit(fn, *args)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def abandon(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
 

@@ -33,6 +33,7 @@ byte-identical across backends and worker counts.
 
 from __future__ import annotations
 
+import contextlib
 import pickle
 import time
 from dataclasses import asdict, dataclass, field
@@ -383,6 +384,7 @@ def run_scenario_matrix(
     random_state: int = 0,
     backend: str = "auto",
     workers: int | None = None,
+    executor=None,
     progress=None,
 ) -> MatrixReport:
     """Run the full scenario × model × explainer sweep.
@@ -427,6 +429,13 @@ def run_scenario_matrix(
         the integer seed, so the report's cells — and
         ``format_table(timing=False)`` byte-for-byte — are identical
         on every backend and worker count; only wall-clock changes.
+    executor:
+        A ready :class:`~repro.core.executor.Executor` to dispatch the
+        shards on instead of building one from ``backend``/``workers``.
+        The caller keeps ownership (this function never closes it) —
+        how repeated sweeps (the adversarial search, one per
+        generation) share a single pool instead of paying pool
+        creation per call and risking a leak on an exception path.
     progress:
         Optional ``callable(str)`` receiving one line per finished cell
         (emitted shard by shard, in deterministic task order).
@@ -482,7 +491,12 @@ def run_scenario_matrix(
     ]
 
     cells: list[MatrixCell] = []
-    with get_executor(backend, workers) as executor:
+    owned = (
+        get_executor(backend, workers)
+        if executor is None
+        else contextlib.nullcontext(executor)
+    )
+    with owned as executor:
         if executor.backend == "process":
             try:
                 pickle.dumps(tuple(models.values()))

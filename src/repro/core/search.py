@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.core.executor import get_executor
 from repro.core.matrix import default_model_factories, run_scenario_matrix
 from repro.nfv.grammar import accept_recipe, catalog_recipes
 from repro.nfv.grammar.errors import RecipeValidationError
@@ -252,15 +253,6 @@ def search_scenarios(
         models = {
             "random_forest": default_model_factories()["random_forest"]
         }
-    matrix_kwargs = dict(
-        models=models,
-        explainers=tuple(explainers),
-        n_epochs=n_epochs,
-        n_explain=n_explain,
-        random_state=seed,
-        backend=backend,
-        workers=workers,
-    )
 
     def emit(line: str) -> None:
         if progress is not None:
@@ -274,68 +266,86 @@ def search_scenarios(
         f"evaluating {len(parent_recipes)} catalog baseline(s) "
         f"({n_epochs} epochs each)"
     )
-    scores, extras = _evaluate(parent_recipes, matrix_kwargs=matrix_kwargs)
-    candidates = [
-        SearchCandidate(
-            recipe=recipe,
-            generation=0,
-            status="catalog",
-            score=scores[recipe.name],
+    # One executor for the whole search: each generation's matrix sweep
+    # reuses the same pool instead of paying creation/teardown per
+    # generation, and the context manager keeps an exception anywhere
+    # in the loop (a one-class evaluation sweep, a rejected seed) from
+    # leaking pooled workers.
+    with get_executor(backend, workers) as executor:
+        matrix_kwargs = dict(
+            models=models,
+            explainers=tuple(explainers),
+            n_epochs=n_epochs,
+            n_explain=n_explain,
+            random_state=seed,
+            executor=executor,
         )
-        for recipe in parent_recipes
-    ]
-    baseline_worst_candidate = max(
-        candidates, key=lambda c: (c.score, c.name)
-    )
-    pool = list(candidates)
+        scores, extras = _evaluate(
+            parent_recipes, matrix_kwargs=matrix_kwargs
+        )
+        candidates = [
+            SearchCandidate(
+                recipe=recipe,
+                generation=0,
+                status="catalog",
+                score=scores[recipe.name],
+            )
+            for recipe in parent_recipes
+        ]
+        baseline_worst_candidate = max(
+            candidates, key=lambda c: (c.score, c.name)
+        )
+        pool = list(candidates)
 
-    for generation in range(1, generations + 1):
-        child_seeds = spawn_seeds(gen_seeds[generation], population)
-        accepted: list[SearchCandidate] = []
-        for i, child_seed in enumerate(child_seeds):
-            rng = check_random_state(child_seed)
-            # Tournament of two: prefer the worse-scoring (more
-            # adversarial) parent; rejected mutants never enter `pool`,
-            # so selection only ever draws from scored candidates.
-            a = pool[int(rng.integers(0, len(pool)))]
-            b = pool[int(rng.integers(0, len(pool)))]
-            parent = a if (a.score, a.name) >= (b.score, b.name) else b
-            child_recipe = replace(
-                parent.recipe.mutate(rng),
-                name=f"adv-g{generation}c{i}",
-                description=(
-                    f"adversarial mutant of {parent.name} "
-                    f"(generation {generation}, search seed {seed})"
-                ),
-            )
-            candidate = SearchCandidate(
-                recipe=child_recipe,
-                generation=generation,
-                parent=parent.name,
-            )
-            try:
-                accept_recipe(
-                    child_recipe,
-                    probe_epochs=accept_probe_epochs,
-                    random_state=accept_seed,
+        for generation in range(1, generations + 1):
+            child_seeds = spawn_seeds(gen_seeds[generation], population)
+            accepted: list[SearchCandidate] = []
+            for i, child_seed in enumerate(child_seeds):
+                rng = check_random_state(child_seed)
+                # Tournament of two: prefer the worse-scoring (more
+                # adversarial) parent; rejected mutants never enter
+                # `pool`, so selection only ever draws from scored
+                # candidates.
+                a = pool[int(rng.integers(0, len(pool)))]
+                b = pool[int(rng.integers(0, len(pool)))]
+                parent = a if (a.score, a.name) >= (b.score, b.name) else b
+                child_recipe = replace(
+                    parent.recipe.mutate(rng),
+                    name=f"adv-g{generation}c{i}",
+                    description=(
+                        f"adversarial mutant of {parent.name} "
+                        f"(generation {generation}, search seed {seed})"
+                    ),
                 )
-            except RecipeValidationError as exc:
-                candidate.status = f"rejected:{exc.check}"
+                candidate = SearchCandidate(
+                    recipe=child_recipe,
+                    generation=generation,
+                    parent=parent.name,
+                )
+                try:
+                    accept_recipe(
+                        child_recipe,
+                        probe_epochs=accept_probe_epochs,
+                        random_state=accept_seed,
+                    )
+                except RecipeValidationError as exc:
+                    candidate.status = f"rejected:{exc.check}"
+                    candidates.append(candidate)
+                    continue
                 candidates.append(candidate)
-                continue
-            candidates.append(candidate)
-            accepted.append(candidate)
-        emit(
-            f"gen {generation}: {len(accepted)}/{population} mutants "
-            "accepted, evaluating"
-        )
-        if accepted:
-            scores, extras = _evaluate(
-                [c.recipe for c in accepted], matrix_kwargs=matrix_kwargs
+                accepted.append(candidate)
+            emit(
+                f"gen {generation}: {len(accepted)}/{population} mutants "
+                "accepted, evaluating"
             )
-            for candidate in accepted:
-                candidate.score = scores[candidate.name]
-            pool.extend(accepted)
+            if accepted:
+                scores, extras = _evaluate(
+                    [c.recipe for c in accepted],
+                    matrix_kwargs=matrix_kwargs,
+                )
+                for candidate in accepted:
+                    candidate.score = scores[candidate.name]
+                pool.extend(accepted)
 
     generated = [
         c

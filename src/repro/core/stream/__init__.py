@@ -13,6 +13,9 @@ contract.
 
 from repro.core.stream.drift import PageHinkley
 from repro.core.stream.engine import (
+    MALFORMED_CHECKS,
+    MalformedBatchError,
+    StreamEvent,
     StreamingDiagnosisEngine,
     StreamReport,
     StreamWindow,
@@ -20,7 +23,10 @@ from repro.core.stream.engine import (
 )
 
 __all__ = [
+    "MALFORMED_CHECKS",
+    "MalformedBatchError",
     "PageHinkley",
+    "StreamEvent",
     "StreamingDiagnosisEngine",
     "StreamReport",
     "StreamWindow",

@@ -39,6 +39,7 @@ fixed 16-row boundaries of ``explain_batch_chunked``.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import asdict, dataclass, field
 
@@ -52,6 +53,9 @@ from repro.utils.rng import spawn_seeds
 from repro.utils.tabular import FeatureMatrix
 
 __all__ = [
+    "MALFORMED_CHECKS",
+    "MalformedBatchError",
+    "StreamEvent",
     "StreamWindow",
     "StreamReport",
     "StreamingDiagnosisEngine",
@@ -60,6 +64,51 @@ __all__ = [
 
 #: Minimum rows per class before a stratified refit is attempted.
 _MIN_CLASS_ROWS = 2
+
+#: Every named data-quality check :class:`MalformedBatchError` can carry.
+MALFORMED_CHECKS = (
+    "misaligned-shapes",
+    "non-finite-features",
+    "labels-not-binary",
+    "schema-changed",
+)
+
+
+class MalformedBatchError(ValueError):
+    """A telemetry batch failed one of the engine's named data checks.
+
+    Subclasses :class:`ValueError` (what the checks historically
+    raised), adding the machine-readable ``check`` name from
+    :data:`MALFORMED_CHECKS` — the key the malformed-batch policy,
+    skip events, and the serve layer's quarantine reports are built
+    on.  Only *data-quality* failures are classified this way;
+    handing the engine something that is not an epoch batch at all
+    stays a plain :class:`TypeError` (a programming error no policy
+    should swallow).
+    """
+
+    def __init__(self, check: str, message: str):
+        super().__init__(message)
+        self.check = check
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One named non-window occurrence of a streaming run.
+
+    ``kind`` is ``"skipped-batch"`` today; ``check`` names the failed
+    data check (:data:`MALFORMED_CHECKS`), ``epoch`` is the engine's
+    stream offset (:attr:`StreamingDiagnosisEngine.epochs_seen`) when
+    the event was recorded, and ``detail`` carries the check's full
+    message.  All fields are pure functions of the configuration and
+    the consumed stream, so event logs are byte-identical across
+    backends too.
+    """
+
+    kind: str
+    check: str
+    epoch: int
+    detail: str = ""
 
 
 def window_seeds(random_state, n: int) -> list[int]:
@@ -134,7 +183,15 @@ class StreamWindow:
 
 @dataclass
 class StreamReport:
-    """All windows of one streaming run plus the engine configuration."""
+    """All windows of one streaming run plus the engine configuration.
+
+    ``events`` lists the named :class:`StreamEvent` occurrences of the
+    run (batches skipped under the ``on_malformed="skip"`` policy).
+    They are *not* part of :meth:`format_table` — the diagnosis bytes
+    stay identical to a fault-free run, which is the recoverable half
+    of the chaos invariant — and render separately through
+    :meth:`format_events`.
+    """
 
     windows: list[StreamWindow]
     window_epochs: int
@@ -143,6 +200,7 @@ class StreamReport:
     scenario: str | None = None
     seed: int | None = None
     extras: dict = field(default_factory=dict)
+    events: list[StreamEvent] = field(default_factory=list)
 
     @property
     def n_epochs(self) -> int:
@@ -235,6 +293,23 @@ class StreamReport:
         )
         return "\n".join(lines)
 
+    def format_events(self) -> str:
+        """Deterministic text log of the run's named events.
+
+        Kept out of :meth:`format_table` on purpose: the table answers
+        "what did the diagnosis conclude" (and must match a fault-free
+        run byte for byte), this answers "what did the run survive".
+        """
+        if not self.events:
+            return "no stream events"
+        lines = [f"stream events ({len(self.events)}):"]
+        for event in self.events:
+            lines.append(
+                f"  {event.kind}[{event.check}] @epoch {event.epoch}: "
+                f"{event.detail}"
+            )
+        return "\n".join(lines)
+
 
 class _HistoryDataset:
     """Duck-typed ``NFVDataset`` over the engine's sliding history."""
@@ -286,6 +361,12 @@ class StreamingDiagnosisEngine:
         Execution backend for chunked explanation dispatch (see
         :func:`repro.core.executor.get_executor`); results are
         byte-identical across backends under an integer seed.
+    on_malformed:
+        What :meth:`ingest` does with a batch that fails a named data
+        check: ``"raise"`` (default) propagates the
+        :class:`MalformedBatchError`; ``"skip"`` drops the batch
+        untouched and records a named :class:`StreamEvent` — the
+        windowed bytes continue as if the batch never arrived.
     random_state:
         Integer seed covering every stochastic choice of the run.
         Non-integer seeds (``None``, a live ``Generator``, a
@@ -316,8 +397,13 @@ class StreamingDiagnosisEngine:
         attribution_drift: dict | None = None,
         backend: str = "serial",
         workers: int | None = None,
+        on_malformed: str = "raise",
         random_state=None,
     ):
+        if on_malformed not in ("raise", "skip"):
+            raise ValueError(
+                f"on_malformed must be 'raise' or 'skip', got {on_malformed!r}"
+            )
         if window_epochs < 1:
             raise ValueError(f"window_epochs must be >= 1, got {window_epochs}")
         if refit_every < 1:
@@ -360,6 +446,7 @@ class StreamingDiagnosisEngine:
         }
         self.backend = backend
         self.workers = workers
+        self.on_malformed = on_malformed
         if isinstance(random_state, (int, np.integer)):
             self.random_state = int(random_state)
         else:
@@ -395,6 +482,7 @@ class StreamingDiagnosisEngine:
             **self._attribution_drift_kwargs
         )
         self.windows: list[StreamWindow] = []
+        self.events: list[StreamEvent] = []
 
     # -- snapshot / restore --------------------------------------------
     def config_dict(self) -> dict:
@@ -421,6 +509,7 @@ class StreamingDiagnosisEngine:
             "threshold": self.threshold,
             "violation_drift": dict(self._violation_drift_kwargs),
             "attribution_drift": dict(self._attribution_drift_kwargs),
+            "on_malformed": self.on_malformed,
             "random_state": self.random_state,
         }
 
@@ -465,6 +554,7 @@ class StreamingDiagnosisEngine:
                 "violation_detector": self.violation_detector,
                 "attribution_detector": self.attribution_detector,
                 "windows": list(self.windows),
+                "events": list(self.events),
             },
         }
 
@@ -509,6 +599,9 @@ class StreamingDiagnosisEngine:
         self.violation_detector = state["violation_detector"]
         self.attribution_detector = state["attribution_detector"]
         self.windows = list(state["windows"])
+        # .get: snapshots predating the malformed-batch policy have no
+        # event log; they resume with an empty one
+        self.events = list(state.get("events", []))
 
     # ------------------------------------------------------------------
     def _window_seed(self, index: int) -> int:
@@ -532,10 +625,22 @@ class StreamingDiagnosisEngine:
             )
         values = np.asarray(values, dtype=float)
         labels = np.asarray(labels)
+        start = getattr(batch, "start_epoch", None)
+        where = (
+            f"batch starting at epoch {start}"
+            if start is not None
+            else f"batch at stream offset {self._epoch + self._pending_rows}"
+        )
         if values.ndim != 2 or len(values) != len(labels):
-            raise ValueError(
+            raise MalformedBatchError(
+                "misaligned-shapes",
                 f"batch features {values.shape} do not align with "
-                f"{len(labels)} labels"
+                f"{len(labels)} labels",
+            )
+        if not np.isfinite(values).all():
+            raise MalformedBatchError(
+                "non-finite-features",
+                f"batch features contain NaN/inf values; {where}",
             )
         # validate *before* the int64 cast below: float labels (0.3)
         # would be silently truncated, and negatives / multi-class
@@ -544,22 +649,18 @@ class StreamingDiagnosisEngine:
         binary = np.isin(labels, (0, 1))
         if not np.all(binary):
             bad = np.unique(np.asarray(labels)[~binary])[:8]
-            start = getattr(batch, "start_epoch", None)
-            where = (
-                f"batch starting at epoch {start}"
-                if start is not None
-                else f"batch at stream offset {self._epoch + self._pending_rows}"
-            )
-            raise ValueError(
+            raise MalformedBatchError(
+                "labels-not-binary",
                 "sla_violation labels must be binary 0/1; "
-                f"{where} contains {bad.tolist()}"
+                f"{where} contains {bad.tolist()}",
             )
         if self._feature_names is None:
             self._feature_names = list(features.feature_names)
         elif list(features.feature_names) != self._feature_names:
-            raise ValueError(
+            raise MalformedBatchError(
+                "schema-changed",
                 "batch feature names changed mid-stream; streams must "
-                "keep one telemetry schema"
+                "keep one telemetry schema",
             )
         if len(values) == 0:
             return
@@ -758,8 +859,27 @@ class StreamingDiagnosisEngine:
         that bound their queues (:class:`repro.serve.TenantSession`)
         can admit telemetry and defer the expensive window processing —
         or refuse admission entirely — as separate decisions.
+
+        Batches failing a named data check raise
+        :class:`MalformedBatchError` under the default
+        ``on_malformed="raise"`` policy; under ``"skip"`` the batch is
+        dropped before touching any engine state and the skip recorded
+        as a named :class:`StreamEvent` — the engine's bytes continue
+        exactly as if the batch had never arrived.
         """
-        self._ingest(batch)
+        try:
+            self._ingest(batch)
+        except MalformedBatchError as err:
+            if self.on_malformed != "skip":
+                raise
+            self.events.append(
+                StreamEvent(
+                    kind="skipped-batch",
+                    check=err.check,
+                    epoch=self.epochs_seen,
+                    detail=str(err),
+                )
+            )
         return self._pending_rows
 
     def process_pending(self, executor=None) -> list[StreamWindow]:
@@ -790,7 +910,7 @@ class StreamingDiagnosisEngine:
             return []
         return [self._process_window(self._pending_rows, executor)]
 
-    def run(self, stream, *, progress=None) -> StreamReport:
+    def run(self, stream, *, progress=None, executor=None) -> StreamReport:
         """Consume a whole stream and return its :class:`StreamReport`.
 
         ``stream`` is any iterable of epoch batches; a trailing partial
@@ -799,8 +919,15 @@ class StreamingDiagnosisEngine:
         report covers only the windows closed by *this* call — the
         engine keeps its state, so successive ``run`` calls continue
         the same logical stream (use :meth:`reset` to start over).
+
+        ``executor`` lets the caller supply (and keep ownership of) an
+        executor — e.g. a :class:`repro.resilience.ResilientExecutor`
+        for fault-tolerant dispatch; the caller closes it.  ``None``
+        builds one from ``backend``/``workers`` and closes it with the
+        run.
         """
         first = len(self.windows)
+        first_event = len(self.events)
         scenario = getattr(getattr(stream, "spec", None), "name", None)
 
         def emit(windows):
@@ -815,7 +942,12 @@ class StreamingDiagnosisEngine:
                            else "")
                     )
 
-        with get_executor(self.backend, self.workers) as executor:
+        owned = (
+            get_executor(self.backend, self.workers)
+            if executor is None
+            else contextlib.nullcontext(executor)
+        )
+        with owned as executor:
             for batch in stream:
                 emit(self.process_batch(batch, executor))
             emit(self.flush(executor))
@@ -841,4 +973,5 @@ class StreamingDiagnosisEngine:
             scenario=scenario,
             seed=self.random_state,
             extras=extras,
+            events=self.events[first_event:],
         )

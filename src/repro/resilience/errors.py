@@ -1,0 +1,49 @@
+"""Named terminal errors of the resilience layer.
+
+These are the *fail-closed* half of the chaos invariant: when retries,
+rebuilds, and backend degradation are all exhausted, the caller gets
+exactly one of these — carrying the task ordinal, the attempt count,
+and the original cause via ``__cause__`` — instead of a partial result.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ResilienceError", "TaskFailedError", "TaskTimeoutError"]
+
+
+class ResilienceError(RuntimeError):
+    """Base class for terminal failures of the resilience layer."""
+
+
+class TaskFailedError(ResilienceError):
+    """A task exhausted its retry budget without succeeding.
+
+    Attributes
+    ----------
+    task:
+        Global task ordinal (stable across retries, backends, and
+        worker counts — the same coordinate the chaos injector keys
+        its draws on).
+    attempts:
+        How many times the task was attempted before giving up.
+    kind:
+        The failure class of the last attempt: ``"error"`` (the task
+        raised), ``"timeout"``, or ``"pool-broken"``.
+    """
+
+    def __init__(self, task: int, attempts: int, kind: str = "error"):
+        super().__init__(
+            f"task {task} failed after {attempts} attempt(s) "
+            f"[{kind}]; no retries left"
+        )
+        self.task = task
+        self.attempts = attempts
+        self.kind = kind
+
+
+class TaskTimeoutError(TaskFailedError):
+    """A task kept exceeding its per-task timeout on every attempt."""
+
+    def __init__(self, task: int, attempts: int, timeout: float):
+        TaskFailedError.__init__(self, task, attempts, kind="timeout")
+        self.timeout = timeout

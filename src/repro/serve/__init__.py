@@ -4,9 +4,11 @@ Multi-tenant session management over the streaming diagnosis engine:
 a :class:`DiagnosisService` multiplexes named
 :class:`TenantSession` objects over one shared executor and one shared
 explainer cache, with per-tenant seed isolation, bounded ingest queues
-(:class:`BackpressureError`), and whole-service snapshot/restore
-(:func:`save_snapshot` / :func:`load_snapshot`) that resumes every
-tenant's stream byte-identically.
+(:class:`BackpressureError`), per-session circuit breakers
+(:class:`SessionQuarantinedError`, :meth:`DiagnosisService.health_report`),
+and whole-service snapshot/restore (:func:`save_snapshot` /
+:func:`load_snapshot`) that resumes every tenant's stream
+byte-identically.
 
     from repro.serve import DiagnosisService
 
@@ -18,8 +20,12 @@ tenant's stream byte-identically.
         print(service.close_session("tenant-a").format_table())
 """
 
-from .service import DiagnosisService, interleave
-from .session import BackpressureError, TenantSession
+from .service import DiagnosisService, ServiceHealth, interleave
+from .session import (
+    BackpressureError,
+    SessionQuarantinedError,
+    TenantSession,
+)
 from .snapshot import (
     SNAPSHOT_SCHEMA,
     ServiceSnapshot,
@@ -32,7 +38,9 @@ __all__ = [
     "SNAPSHOT_SCHEMA",
     "BackpressureError",
     "DiagnosisService",
+    "ServiceHealth",
     "ServiceSnapshot",
+    "SessionQuarantinedError",
     "SessionSnapshot",
     "TenantSession",
     "interleave",

@@ -29,18 +29,62 @@ tenant's stream byte-identically to one that was never interrupted.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.cache import get_cache
 from repro.core.executor import get_executor
 from repro.core.stream import StreamingDiagnosisEngine, StreamReport
+from repro.resilience import ResilientExecutor
 from repro.utils.rng import spawn_seeds
 
-from .session import TenantSession
+from .session import BackpressureError, SessionQuarantinedError, TenantSession
 from .snapshot import ServiceSnapshot
 
-__all__ = ["DiagnosisService", "interleave"]
+__all__ = ["DiagnosisService", "ServiceHealth", "interleave"]
+
+
+@dataclass
+class ServiceHealth:
+    """Per-session circuit-breaker state of a whole service.
+
+    ``sessions`` maps session name → the
+    :meth:`~repro.serve.session.TenantSession.health` dict, in
+    tenant-index order.  The quarantined sessions (and the named check
+    that tripped each breaker) are what an operator reads off
+    :meth:`format_table` after a fault storm.
+    """
+
+    sessions: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def quarantined(self) -> list[str]:
+        """Names of quarantined sessions, in tenant-index order."""
+        return [
+            name
+            for name, health in self.sessions.items()
+            if health["status"] == "quarantined"
+        ]
+
+    def format_table(self) -> str:
+        """Deterministic aligned text table of every session's health."""
+        header = (
+            f"{'session':<20} {'status':<12} {'failures':>8} "
+            f"{'consec':>6}  check"
+        )
+        lines = [header, "-" * max(len(header), 60)]
+        for name, health in self.sessions.items():
+            lines.append(
+                f"{name:<20} {health['status']:<12} "
+                f"{health['failures']:>8} {health['consecutive']:>6}  "
+                f"{health['check'] or '-'}"
+            )
+        lines.append(
+            f"{len(self.sessions)} session(s), "
+            f"{len(self.quarantined)} quarantined"
+        )
+        return "\n".join(lines)
 
 
 class DiagnosisService:
@@ -68,6 +112,18 @@ class DiagnosisService:
         If given, resize the shared explainer cache so both its global
         identity tier and its token-fallback tier hold this many
         entries (see :meth:`repro.core.cache.ExplainerCache.resize`).
+    failure_budget:
+        Consecutive failures before a session's circuit breaker opens
+        (see :class:`~repro.serve.session.TenantSession`); override
+        per session via ``open_session``.
+    task_timeout, task_retries, chaos:
+        When any is given, the shared executor is wrapped in a
+        :class:`repro.resilience.ResilientExecutor` with that per-task
+        timeout, retry budget (default 2 when only a timeout is set),
+        and optional :class:`repro.chaos.ChaosPolicy`.  ``None`` for
+        all three (the default) keeps the plain executor — and either
+        way the reports' bytes are identical; resilience is
+        recovery-only.
     **engine_kwargs:
         Forwarded to every session's
         :class:`~repro.core.stream.StreamingDiagnosisEngine`
@@ -77,13 +133,22 @@ class DiagnosisService:
     def __init__(self, model_factory=None, *, max_pending_epochs: int = 256,
                  backend: str = "auto", workers: int | None = None,
                  random_state=None, cache_entries: int | None = None,
+                 failure_budget: int = 3,
+                 task_timeout: float | None = None,
+                 task_retries: int | None = None,
+                 chaos=None,
                  **engine_kwargs):
         if max_pending_epochs < 1:
             raise ValueError(
                 f"max_pending_epochs must be >= 1, got {max_pending_epochs}"
             )
+        if failure_budget < 1:
+            raise ValueError(
+                f"failure_budget must be >= 1, got {failure_budget}"
+            )
         self.model_factory = model_factory
         self.max_pending_epochs = int(max_pending_epochs)
+        self.failure_budget = int(failure_budget)
         if isinstance(random_state, (int, np.integer)):
             self.random_state = int(random_state)
         else:
@@ -91,7 +156,6 @@ class DiagnosisService:
             # tenant seeds are reproducible across snapshot/restore
             self.random_state = spawn_seeds(random_state, 1)[0]
         self._engine_kwargs = dict(engine_kwargs)
-        self._executor = get_executor(backend, workers)
         self._sessions: dict[str, TenantSession] = {}
         self._next_index = 0
         self._lock = threading.Lock()
@@ -101,6 +165,19 @@ class DiagnosisService:
                 max_total_entries=cache_entries,
                 max_token_entries=cache_entries,
             )
+        # the executor is created last: anything above that raises must
+        # not leave an orphaned pool behind (a leak the close() path
+        # could never reach)
+        if (task_timeout is not None or task_retries is not None
+                or chaos is not None):
+            self._executor = ResilientExecutor(
+                backend, workers,
+                task_timeout=task_timeout,
+                retries=2 if task_retries is None else task_retries,
+                chaos=chaos,
+            )
+        else:
+            self._executor = get_executor(backend, workers)
 
     # ------------------------------------------------------------------
     @property
@@ -121,7 +198,8 @@ class DiagnosisService:
 
     # ------------------------------------------------------------------
     def open_session(self, name: str, *,
-                     max_pending_epochs: int | None = None) -> TenantSession:
+                     max_pending_epochs: int | None = None,
+                     failure_budget: int | None = None) -> TenantSession:
         """Register tenant ``name`` and return its fresh session.
 
         Tenant indices are monotonic and never reused, even after
@@ -148,6 +226,10 @@ class DiagnosisService:
                 max_pending_epochs=(
                     self.max_pending_epochs if max_pending_epochs is None
                     else max_pending_epochs
+                ),
+                failure_budget=(
+                    self.failure_budget if failure_budget is None
+                    else failure_budget
                 ),
             )
             self._sessions[name] = session
@@ -181,22 +263,52 @@ class DiagnosisService:
         return session.drain(self._executor)
 
     def drain_all(self) -> dict[str, list]:
-        """Drain every open session; windows keyed by session name."""
+        """Drain every healthy session; windows keyed by session name.
+
+        Quarantined sessions are skipped (an empty list), not raised:
+        one bad tenant must never block a fleet-wide sweep.  Read
+        :meth:`health_report` to see who was sidelined.
+        """
         return {
-            name: self.session(name).drain(self._executor)
+            name: (
+                []
+                if self.session(name).quarantined
+                else self.session(name).drain(self._executor)
+            )
             for name in self.session_names
         }
 
     def flush_all(self) -> dict[str, list]:
-        """Flush every session's trailing partial window."""
+        """Flush every healthy session's trailing partial window.
+
+        Like :meth:`drain_all`, quarantined sessions are skipped, not
+        raised.
+        """
         return {
-            name: self.session(name).flush(self._executor)
+            name: (
+                []
+                if self.session(name).quarantined
+                else self.session(name).flush(self._executor)
+            )
             for name in self.session_names
         }
 
     def report(self, name: str) -> StreamReport:
         """Tenant ``name``'s report over all windows closed so far."""
         return self.session(name).report()
+
+    def health_report(self) -> ServiceHealth:
+        """Every session's circuit-breaker state, in tenant-index order.
+
+        Names each quarantined session and the check that tripped its
+        breaker — the first thing to read after a fault storm.
+        """
+        return ServiceHealth(
+            sessions={
+                name: self.session(name).health()
+                for name in self.session_names
+            }
+        )
 
     def close_session(self, name: str, *, flush: bool = True) -> StreamReport:
         """Unregister tenant ``name``; returns its final report."""
@@ -228,13 +340,18 @@ class DiagnosisService:
     @classmethod
     def restore(cls, snapshot: ServiceSnapshot, *, model_factory=None,
                 backend: str = "auto", workers: int | None = None,
-                cache_entries: int | None = None) -> "DiagnosisService":
+                cache_entries: int | None = None,
+                task_timeout: float | None = None,
+                task_retries: int | None = None,
+                chaos=None) -> "DiagnosisService":
         """Rebuild a service from :meth:`snapshot`.
 
-        ``model_factory`` / ``backend`` / ``workers`` are supplied by
-        the restoring code (they are deliberately not in the snapshot);
-        everything report-determining comes from the snapshot, so the
-        restored service resumes every tenant byte-identically.
+        ``model_factory`` / ``backend`` / ``workers`` (and the
+        resilience knobs) are supplied by the restoring code — they are
+        deliberately not in the snapshot; everything report-determining
+        comes from the snapshot, so the restored service resumes every
+        tenant byte-identically.  A tenant quarantined at snapshot time
+        is restored quarantined.
         """
         config = snapshot.service_config
         service = cls(
@@ -244,20 +361,32 @@ class DiagnosisService:
             workers=workers,
             random_state=config["random_state"],
             cache_entries=cache_entries,
+            task_timeout=task_timeout,
+            task_retries=task_retries,
+            chaos=chaos,
             **config["engine_kwargs"],
         )
-        for snap in snapshot.sessions:
-            engine = StreamingDiagnosisEngine(
-                model_factory, **snap.engine["config"]
-            )
-            engine.load_state_dict(snap.engine)
-            session = TenantSession(
-                snap.name, snap.tenant_index, snap.seed, engine,
-                max_pending_epochs=snap.max_pending_epochs,
-            )
-            with service._lock:
-                service._sessions[snap.name] = session
-        service._next_index = config["next_index"]
+        try:
+            for snap in snapshot.sessions:
+                engine = StreamingDiagnosisEngine(
+                    model_factory, **snap.engine["config"]
+                )
+                engine.load_state_dict(snap.engine)
+                session = TenantSession(
+                    snap.name, snap.tenant_index, snap.seed, engine,
+                    max_pending_epochs=snap.max_pending_epochs,
+                    # getattr: schema-1 snapshots from before the
+                    # circuit breakers lack these fields
+                    failure_budget=getattr(snap, "failure_budget", 3),
+                )
+                session._load_health(getattr(snap, "health", {}) or {})
+                with service._lock:
+                    service._sessions[snap.name] = session
+            service._next_index = config["next_index"]
+        except BaseException:
+            # a half-restored service must not leak its executor pool
+            service.close()
+            raise
         return service
 
     # ------------------------------------------------------------------
@@ -289,12 +418,13 @@ class DiagnosisService:
         )
 
 
-def interleave(service: DiagnosisService, streams: dict,
+def interleave(service: DiagnosisService, streams,
                *, until_epoch: int | None = None) -> dict[str, list]:
     """Round-robin many tenant streams through one service.
 
     ``streams`` maps session names (already opened on ``service``) to
-    iterables of epoch batches.  Batches are fed one per tenant per
+    iterables of epoch batches — a mapping, or an iterable of
+    ``(name, stream)`` pairs.  Batches are fed one per tenant per
     round in sorted-name order — the worst case for accidental
     cross-tenant state sharing, which makes this the natural driver
     for the isolation tests and the serve benchmark.  Feeding stops
@@ -302,9 +432,43 @@ def interleave(service: DiagnosisService, streams: dict,
     once the session has seen at least that many epochs (useful for
     stopping mid-stream before a snapshot).
 
-    Returns the windows closed per session, keyed by name.
+    Raises ``ValueError`` (named) on an empty ``streams`` or on
+    duplicate session names, and ``KeyError`` for a name not open on
+    the service — all before any batch is fed.
+
+    Faulty tenants never take the others down:
+
+    * a session failure below its budget is counted by the session's
+      circuit breaker and the tenant stays in rotation (the batch is
+      lost; read :meth:`DiagnosisService.health_report` afterwards);
+    * a :class:`~repro.serve.session.SessionQuarantinedError` drops
+      the tenant from the rotation;
+    * a stream iterator that itself raises quarantines its tenant
+      (:meth:`~repro.serve.session.TenantSession.record_stream_failure`)
+      and drops it;
+    * :class:`~repro.serve.session.BackpressureError` still
+      propagates — it is flow control the *caller* misconfigured, not
+      a tenant fault.
+
+    Returns the windows closed per session, keyed by name (a
+    quarantined tenant keeps the windows it closed before being
+    sidelined).
     """
-    iterators = {name: iter(stream) for name, stream in streams.items()}
+    pairs = list(streams.items()) if hasattr(streams, "items") else list(streams)
+    if not pairs:
+        raise ValueError(
+            "interleave needs at least one (session, stream) pair; "
+            "got an empty streams argument"
+        )
+    names = [name for name, _ in pairs]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ValueError(
+            f"duplicate session names in interleave streams: {duplicates}"
+        )
+    for name in names:
+        service.session(name)  # KeyError, by name, if not open
+    iterators = {name: iter(stream) for name, stream in pairs}
     windows: dict[str, list] = {name: [] for name in iterators}
     while iterators:
         for name in sorted(iterators):
@@ -312,9 +476,24 @@ def interleave(service: DiagnosisService, streams: dict,
                     and service.session(name).epochs_seen >= until_epoch):
                 del iterators[name]
                 continue
-            batch = next(iterators[name], None)
-            if batch is None:
+            try:
+                batch = next(iterators[name])
+            except StopIteration:
                 del iterators[name]
                 continue
-            windows[name].extend(service.process(name, batch))
+            except Exception as exc:
+                service.session(name).record_stream_failure(exc)
+                del iterators[name]
+                continue
+            try:
+                windows[name].extend(service.process(name, batch))
+            except SessionQuarantinedError:
+                del iterators[name]
+            except BackpressureError:
+                raise
+            except Exception:
+                # counted by the session's breaker inside process();
+                # the tenant stays in rotation until its budget opens
+                # the breaker
+                continue
     return windows

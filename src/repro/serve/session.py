@@ -15,6 +15,15 @@ things multi-tenancy needs and a bare engine does not have:
   session, so concurrent callers (the service is driven from many
   threads) cannot interleave half-ingested batches.
 
+Since the resilience layer (PR 10) each session also carries a
+**circuit breaker**: engine or executor failures are counted, and a
+tenant that keeps failing — ``failure_budget`` consecutive failures —
+is *quarantined* with a named :class:`SessionQuarantinedError`.  A
+quarantined session refuses further work (its state and report stay
+readable) until :meth:`TenantSession.reinstate`; the service keeps
+serving every other tenant, whose reports remain byte-identical to a
+run without the bad tenant (``tests/serve/test_quarantine.py``).
+
 Sessions do not own an executor; the service passes its shared one
 into :meth:`TenantSession.drain`.  Parallelism is timing-only — every
 report is byte-identical to a serial run under the session's seed.
@@ -29,7 +38,7 @@ from repro.core.stream import StreamingDiagnosisEngine, StreamReport
 
 from .snapshot import SessionSnapshot
 
-__all__ = ["BackpressureError", "TenantSession"]
+__all__ = ["BackpressureError", "SessionQuarantinedError", "TenantSession"]
 
 
 class BackpressureError(RuntimeError):
@@ -54,26 +63,65 @@ class BackpressureError(RuntimeError):
         )
 
 
+class SessionQuarantinedError(RuntimeError):
+    """The session's circuit breaker is open — it refuses new work.
+
+    Raised by the call that crosses the session's ``failure_budget``
+    (chained from the triggering failure via ``__cause__``) and by
+    every subsequent ``submit``/``drain``/``process``/``flush`` until
+    :meth:`TenantSession.reinstate`.  ``check`` names what tripped the
+    breaker: a :class:`~repro.core.stream.MalformedBatchError` check
+    name where available, else the exception type name.
+    """
+
+    def __init__(self, session: str, check: str | None, failures: int):
+        self.session = session
+        self.check = check
+        self.failures = failures
+        super().__init__(
+            f"session {session!r} is quarantined after {failures} "
+            f"consecutive failure(s); triggering check: {check}"
+        )
+
+
+def _failure_check(exc: BaseException) -> str:
+    """The named check a failure trips (exception type as fallback)."""
+    return getattr(exc, "check", None) or type(exc).__name__
+
+
 class TenantSession:
     """A named, seeded, backpressure-bounded engine wrapper.
 
     Built by :meth:`repro.serve.DiagnosisService.open_session`; not
-    usually constructed directly.
+    usually constructed directly.  ``failure_budget`` is how many
+    *consecutive* failures quarantine the session (successfully
+    accepting telemetry, or draining real windows, closes the streak).
     """
 
     def __init__(self, name: str, tenant_index: int, seed: int,
                  engine: StreamingDiagnosisEngine,
-                 max_pending_epochs: int):
+                 max_pending_epochs: int,
+                 failure_budget: int = 3):
         if max_pending_epochs < 1:
             raise ValueError(
                 f"max_pending_epochs must be >= 1, got {max_pending_epochs}"
+            )
+        if failure_budget < 1:
+            raise ValueError(
+                f"failure_budget must be >= 1, got {failure_budget}"
             )
         self.name = name
         self.tenant_index = int(tenant_index)
         self.seed = int(seed)
         self.engine = engine
         self.max_pending_epochs = int(max_pending_epochs)
+        self.failure_budget = int(failure_budget)
         self._lock = threading.Lock()
+        self._failures_total = 0
+        self._consecutive_failures = 0
+        self._quarantined = False
+        self._quarantine_check: str | None = None
+        self._last_error: str | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -91,6 +139,92 @@ class TenantSession:
         """All windows closed so far (live list — do not mutate)."""
         return self.engine.windows
 
+    @property
+    def quarantined(self) -> bool:
+        """Whether the circuit breaker is open."""
+        return self._quarantined
+
+    # -- circuit breaker -----------------------------------------------
+    def _check_open(self) -> None:
+        """Refuse work while quarantined (call under the lock)."""
+        if self._quarantined:
+            raise SessionQuarantinedError(
+                self.name, self._quarantine_check,
+                self._consecutive_failures,
+            )
+
+    def _note_failure(self, exc: BaseException) -> None:
+        """Count one failure; trip the breaker at the budget.
+
+        Call under the lock.  Raises :class:`SessionQuarantinedError`
+        (chained from ``exc``) on the failure that crosses the budget;
+        otherwise returns so the caller can re-raise the original.
+        """
+        self._failures_total += 1
+        self._consecutive_failures += 1
+        self._last_error = f"{type(exc).__name__}: {exc}"
+        if self._consecutive_failures >= self.failure_budget:
+            self._quarantined = True
+            self._quarantine_check = _failure_check(exc)
+            raise SessionQuarantinedError(
+                self.name, self._quarantine_check,
+                self._consecutive_failures,
+            ) from exc
+
+    def record_stream_failure(self, exc: BaseException) -> None:
+        """Record that the tenant's *stream iterator* raised.
+
+        A dead iterator cannot yield again, so this quarantines the
+        session immediately regardless of the remaining budget — used
+        by :func:`repro.serve.interleave` to sideline a tenant whose
+        telemetry source itself is broken.
+        """
+        with self._lock:
+            self._failures_total += 1
+            self._consecutive_failures += 1
+            self._last_error = f"{type(exc).__name__}: {exc}"
+            self._quarantined = True
+            self._quarantine_check = _failure_check(exc)
+
+    def reinstate(self) -> None:
+        """Close the breaker again (an operator decision, never automatic).
+
+        The failure total stays in the health record; the consecutive
+        streak restarts.
+        """
+        with self._lock:
+            self._quarantined = False
+            self._quarantine_check = None
+            self._consecutive_failures = 0
+
+    def health(self) -> dict:
+        """The session's breaker state as a plain dict.
+
+        Keys: ``status`` (``"ok"``/``"quarantined"``), ``failures``
+        (lifetime total), ``consecutive``, ``check`` (what tripped the
+        breaker, or ``None``), ``last_error``.
+        """
+        with self._lock:
+            return self._health_locked()
+
+    def _health_locked(self) -> dict:
+        return {
+            "status": "quarantined" if self._quarantined else "ok",
+            "failures": self._failures_total,
+            "consecutive": self._consecutive_failures,
+            "check": self._quarantine_check,
+            "last_error": self._last_error,
+        }
+
+    def _load_health(self, health: dict) -> None:
+        """Install breaker state from a snapshot's ``health`` dict."""
+        with self._lock:
+            self._failures_total = int(health.get("failures", 0))
+            self._consecutive_failures = int(health.get("consecutive", 0))
+            self._quarantined = health.get("status") == "quarantined"
+            self._quarantine_check = health.get("check")
+            self._last_error = health.get("last_error")
+
     # ------------------------------------------------------------------
     def submit(self, batch) -> int:
         """Enqueue one epoch batch; returns the new pending count.
@@ -105,18 +239,38 @@ class TenantSession:
         labels = getattr(batch, "sla_violation", None)
         batch_epochs = len(labels) if labels is not None else 0
         with self._lock:
+            self._check_open()
             pending = self.engine.pending_epochs
             if pending + batch_epochs > self.max_pending_epochs:
+                # flow control, not a fault: backpressure never counts
+                # against the failure budget
                 raise BackpressureError(
                     self.name, pending, batch_epochs,
                     self.max_pending_epochs,
                 )
-            return self.engine.ingest(batch)
+            try:
+                result = self.engine.ingest(batch)
+            except Exception as exc:
+                self._note_failure(exc)
+                raise
+            self._consecutive_failures = 0
+            return result
 
     def drain(self, executor=None) -> list:
         """Close every complete window in the pending buffer."""
         with self._lock:
-            return self.engine.process_pending(executor)
+            self._check_open()
+            try:
+                windows = self.engine.process_pending(executor)
+            except Exception as exc:
+                self._note_failure(exc)
+                raise
+            if windows:
+                # only real work closes the failure streak — an empty
+                # drain must not launder a tenant whose submits keep
+                # failing
+                self._consecutive_failures = 0
+            return windows
 
     def process(self, batch, executor=None) -> list:
         """``submit`` then ``drain`` — the one-call streaming step."""
@@ -126,7 +280,15 @@ class TenantSession:
     def flush(self, executor=None) -> list:
         """End of stream: close the trailing partial window, if any."""
         with self._lock:
-            return self.engine.flush(executor)
+            self._check_open()
+            try:
+                windows = self.engine.flush(executor)
+            except Exception as exc:
+                self._note_failure(exc)
+                raise
+            if windows:
+                self._consecutive_failures = 0
+            return windows
 
     # ------------------------------------------------------------------
     def report(self) -> StreamReport:
@@ -150,12 +312,15 @@ class TenantSession:
         """
         with self._lock:
             engine_state = pickle.loads(pickle.dumps(self.engine.state_dict()))
+            health = self._health_locked()
         return SessionSnapshot(
             name=self.name,
             tenant_index=self.tenant_index,
             seed=self.seed,
             max_pending_epochs=self.max_pending_epochs,
             engine=engine_state,
+            failure_budget=self.failure_budget,
+            health=health,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics

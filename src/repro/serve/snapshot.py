@@ -49,6 +49,12 @@ class SessionSnapshot:
     seed: int
     max_pending_epochs: int
     engine: dict
+    # added with the circuit breakers: the session's failure budget and
+    # its breaker state, so a tenant quarantined before the snapshot
+    # stays quarantined after the restore (restore reads them via
+    # getattr, so schema-1 snapshots from before these fields load too)
+    failure_budget: int = 3
+    health: dict = field(default_factory=dict)
 
 
 @dataclass

@@ -9,7 +9,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Generator", "check_random_state", "spawn_rngs", "spawn_seeds"]
+__all__ = [
+    "Generator",
+    "check_random_state",
+    "derive_seed",
+    "spawn_rngs",
+    "spawn_seeds",
+]
 
 #: The generator type every helper here returns, re-exported so other
 #: modules can annotate and isinstance-check without spelling
@@ -92,6 +98,31 @@ def spawn_seeds(random_state, n: int) -> list[int]:
         int(child.generate_state(1, dtype=np.uint64)[0] >> np.uint64(1))
         for child in base.spawn(n)
     ]
+
+
+def derive_seed(root, *path) -> int:
+    """One integer child seed at an addressed point under ``root``.
+
+    Where :func:`spawn_seeds` derives a *vector* of children (shard
+    ``i`` of ``n``), this derives a single child at an arbitrary
+    integer coordinate path — ``derive_seed(seed, site, k, index)`` is
+    a pure function of its arguments, independent of how many other
+    coordinates are ever visited.  That is the primitive the chaos
+    injector needs: the decision "does fault ``k`` fire at task
+    ``index``?" must not shift when another fault is added or another
+    task runs first.
+    """
+    parts = []
+    for value in (root, *path):
+        if not isinstance(value, (int, np.integer)):
+            raise TypeError(
+                f"derive_seed takes integers, got {type(value).__name__}"
+            )
+        if value < 0:
+            raise ValueError(f"seed path must be non-negative, got {value}")
+        parts.append(int(value))
+    base = np.random.SeedSequence(entropy=parts)
+    return int(base.generate_state(1, dtype=np.uint64)[0] >> np.uint64(1))
 
 
 def spawn_rngs(random_state, n: int) -> list[np.random.Generator]:

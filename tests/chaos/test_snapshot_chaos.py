@@ -1,0 +1,136 @@
+"""Snapshot/restore taken in the middle of a fault storm.
+
+The service is snapshotted mid-stream *while chaos is injecting faults*,
+torn down, restored, and driven to completion — still under chaos.  The
+final per-tenant reports must be byte-identical to (a) an uninterrupted
+chaotic run and (b) a fault-free run.
+
+Note the restored run does **not** replay the same fault plan: the
+resilient executor's task ordinals restart at zero, so chaos poisons
+*different* tasks after the restore.  That is the point — recovery is
+byte-transparent, so the reports converge regardless of which attempts
+the injector happened to hit.
+"""
+
+import pickle
+
+import pytest
+
+from repro.chaos import ChaosFault, ChaosPolicy
+from repro.datasets import stream_scenario_telemetry
+from repro.serve import DiagnosisService, interleave
+
+CONFIG = dict(
+    window_epochs=24,
+    refit_every=2,
+    explain_per_window=24,
+    explainer_kwargs={"n_samples": 32},
+)
+TENANTS = 2
+EPOCHS = 96
+BATCH_EPOCHS = 24
+CUT = 48  # snapshot epoch: mid-stream, on a batch boundary
+
+
+def _policy(seed=0):
+    return ChaosPolicy(
+        seed,
+        [
+            ChaosFault("transient", 0.5, attempts=1),
+            ChaosFault("corrupt-batch", 0.5),
+        ],
+    )
+
+
+def _stream(seed):
+    return stream_scenario_telemetry(
+        "fault-storm", EPOCHS, batch_epochs=BATCH_EPOCHS, random_state=seed
+    )
+
+
+def _streams(service, policy, since_epoch=0):
+    streams = {}
+    for name in service.session_names:
+        session = service.session(name)
+        stream = _stream(session.seed)
+        if policy is not None:
+            stream = policy.corrupt_stream(stream, mode="duplicate")
+        if since_epoch:
+            stream = (
+                b for b in stream if b.start_epoch >= since_epoch
+            )
+        streams[name] = stream
+    return streams
+
+
+def _tables(service):
+    return {
+        name: service.session(name).report().format_table(timing=False)
+        for name in service.session_names
+    }
+
+
+def _service(policy, **kwargs):
+    service = DiagnosisService(
+        max_pending_epochs=EPOCHS,
+        random_state=11,
+        task_retries=3,
+        chaos=policy,
+        on_malformed="skip",
+        **CONFIG,
+        **kwargs,
+    )
+    for i in range(TENANTS):
+        service.open_session(f"tenant-{i}")
+    return service
+
+
+@pytest.fixture(scope="module")
+def fault_free_tables():
+    with DiagnosisService(
+        max_pending_epochs=EPOCHS,
+        random_state=11,
+        backend="serial",
+        **CONFIG,
+    ) as service:
+        for i in range(TENANTS):
+            service.open_session(f"tenant-{i}")
+        interleave(service, _streams(service, None))
+        service.flush_all()
+        return _tables(service)
+
+
+def test_uninterrupted_chaotic_run_matches_fault_free(fault_free_tables):
+    with _service(_policy(), backend="thread", workers=2) as service:
+        interleave(service, _streams(service, _policy()))
+        service.flush_all()
+        assert _tables(service) == fault_free_tables
+
+
+def test_snapshot_mid_storm_restores_byte_identical(fault_free_tables):
+    policy = _policy()
+    with _service(policy, backend="thread", workers=2) as service:
+        interleave(
+            service, _streams(service, policy), until_epoch=CUT
+        )
+        for name in service.session_names:
+            assert service.session(name).epochs_seen == CUT
+        snap = pickle.loads(pickle.dumps(service.snapshot()))
+
+    # Resume in a fresh process-equivalent: new service, new executor,
+    # a different chaos seed (the plan need not match — recovery is
+    # byte-transparent), regenerated tenant streams minus the epochs
+    # the snapshot already absorbed.
+    restored = DiagnosisService.restore(
+        snap, backend="serial", task_retries=3, chaos=_policy(seed=9)
+    )
+    with restored as service:
+        assert sorted(service.session_names) == [
+            f"tenant-{i}" for i in range(TENANTS)
+        ]
+        interleave(
+            service,
+            _streams(service, _policy(seed=9), since_epoch=CUT),
+        )
+        service.flush_all()
+        assert _tables(service) == fault_free_tables

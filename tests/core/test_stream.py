@@ -6,7 +6,10 @@ import numpy as np
 import pytest
 
 from repro.core.stream import (
+    MALFORMED_CHECKS,
+    MalformedBatchError,
     PageHinkley,
+    StreamEvent,
     StreamingDiagnosisEngine,
     StreamReport,
     StreamWindow,
@@ -369,6 +372,156 @@ class TestLabelValidation:
         )
         assert engine.pending_epochs == 8
         assert engine._pending_y[0].dtype == np.int64
+
+
+class TestMalformedPolicy:
+    """ISSUE 10: malformed batches are a *policy*, not just a crash.
+
+    ``on_malformed="raise"`` (the default) fails fast with a
+    :class:`MalformedBatchError` naming its check;
+    ``on_malformed="skip"`` drops the batch before any state mutation
+    and records a named :class:`StreamEvent` — diagnosis bytes stay
+    identical to a run that never saw the bad batch."""
+
+    @staticmethod
+    def _bad_labels(start=0):
+        n = 4
+        batch = _synthetic_batch(n, [0] * n, start=start, seed=1)
+        batch.sla_violation = np.asarray([0, 1, 7, 1])
+        return batch
+
+    def test_on_malformed_validated(self):
+        with pytest.raises(ValueError, match="on_malformed"):
+            StreamingDiagnosisEngine(on_malformed="explode")
+
+    def test_config_dict_carries_the_policy(self):
+        engine = StreamingDiagnosisEngine(on_malformed="skip")
+        assert engine.config_dict()["on_malformed"] == "skip"
+
+    def test_every_check_is_named(self):
+        engine = StreamingDiagnosisEngine(window_epochs=8, random_state=0)
+        good = _synthetic_batch(4, [0] * 4, n_features=4)
+
+        misaligned = _synthetic_batch(4, [0] * 4, seed=1)
+        misaligned.sla_violation = np.asarray([0, 1])
+        nonfinite = _synthetic_batch(4, [0] * 4, seed=1)
+        nonfinite.features.values[0, 0] = np.nan
+
+        for check, batch in (
+            ("misaligned-shapes", misaligned),
+            ("non-finite-features", nonfinite),
+            ("labels-not-binary", self._bad_labels()),
+        ):
+            assert check in MALFORMED_CHECKS
+            with pytest.raises(MalformedBatchError) as excinfo:
+                engine.ingest(batch)
+            assert excinfo.value.check == check
+
+        engine.ingest(good)
+        with pytest.raises(MalformedBatchError) as excinfo:
+            engine.ingest(_synthetic_batch(4, [0] * 4, n_features=5))
+        assert excinfo.value.check == "schema-changed"
+
+    def test_malformed_error_is_a_valueerror(self):
+        # the pre-ISSUE-10 contract matched ValueError; keep it true
+        assert issubclass(MalformedBatchError, ValueError)
+
+    def test_type_errors_stay_unconditional(self):
+        engine = StreamingDiagnosisEngine(
+            window_epochs=8, on_malformed="skip", random_state=0
+        )
+        with pytest.raises(TypeError, match="features"):
+            engine.ingest(object())
+
+    def test_skip_records_event_and_mutates_nothing(self):
+        engine = StreamingDiagnosisEngine(
+            window_epochs=8, on_malformed="skip", random_state=0
+        )
+        engine.ingest(_synthetic_batch(4, [0] * 4))
+        assert engine.ingest(self._bad_labels(start=4)) == 4
+        assert engine.pending_epochs == 4
+        assert engine.epochs_seen == 4
+        (event,) = engine.events
+        assert event.kind == "skipped-batch"
+        assert event.check == "labels-not-binary"
+        assert event.epoch == 4
+        assert "binary 0/1" in event.detail
+
+    def test_skips_never_change_diagnosis_bytes(self):
+        def run(inject):
+            engine = StreamingDiagnosisEngine(
+                window_epochs=8,
+                explain_per_window=0,
+                on_malformed="skip",
+                random_state=0,
+            )
+            for i in range(4):
+                if inject:
+                    engine.ingest(self._bad_labels(start=8 * i))
+                engine.ingest(
+                    _synthetic_batch(
+                        8, [0, 1] * 4, start=8 * i, seed=i
+                    )
+                )
+            engine.flush()
+            report = StreamReport(
+                windows=engine.windows,
+                window_epochs=8,
+                refit_every=engine.refit_every,
+                explainer=engine.explainer_method,
+                scenario="test",
+                seed=0,
+                events=list(engine.events),
+            )
+            return report
+
+        clean = run(inject=False)
+        chaotic = run(inject=True)
+        assert (
+            chaotic.format_table(timing=False)
+            == clean.format_table(timing=False)
+        )
+        assert len(chaotic.events) == 4
+        assert clean.events == []
+        assert clean.format_events() == "no stream events"
+        assert "skipped-batch[labels-not-binary]" in (
+            chaotic.format_events()
+        )
+
+    def test_events_survive_state_dict_round_trip(self):
+        engine = StreamingDiagnosisEngine(
+            window_epochs=8, on_malformed="skip", random_state=0
+        )
+        engine.ingest(self._bad_labels())
+        state = engine.state_dict()
+        clone = StreamingDiagnosisEngine(
+            window_epochs=8, on_malformed="skip", random_state=0
+        )
+        clone.load_state_dict(state)
+        assert clone.events == engine.events
+        assert isinstance(clone.events[0], StreamEvent)
+
+    def test_old_state_dicts_without_events_still_load(self):
+        engine = StreamingDiagnosisEngine(window_epochs=8, random_state=0)
+        state = engine.state_dict()
+        state["state"].pop("events", None)
+        clone = StreamingDiagnosisEngine(window_epochs=8, random_state=0)
+        clone.load_state_dict(state)
+        assert clone.events == []
+
+    def test_run_report_scopes_events_to_the_run(self):
+        engine = StreamingDiagnosisEngine(
+            window_epochs=8,
+            explain_per_window=0,
+            on_malformed="skip",
+            random_state=0,
+        )
+        engine.ingest(self._bad_labels())
+        report = engine.run(
+            iter([_synthetic_batch(8, [0, 1] * 4, seed=2)])
+        )
+        assert report.events == []
+        assert len(engine.events) == 1
 
 
 class TestEngineSnapshot:

@@ -418,3 +418,45 @@ class TestServe:
         resumed = capsys.readouterr().out
         assert resumed == full
         assert "epochs/s" not in full and "shared cache" not in full
+
+
+class TestChaos:
+    FAST = ["chaos", "run", "--epochs", "96", "--window", "48",
+            "--method", "lime", "--no-timing"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos", "run"])
+        assert args.scenario == "fault-storm"
+        assert args.transient == 0.25
+        assert args.corrupt == 0.25
+        assert args.explain_per_window == 24  # stays above the chunk size
+        assert args.corrupt_mode == "duplicate"
+        assert args.on_malformed == "skip"
+
+    def test_rates_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "run", "--transient", "1.5"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "run", "--crash", "-0.1"])
+
+    def test_all_zero_rates_is_an_error(self, capsys):
+        assert main([*self.FAST, "--transient", "0", "--corrupt", "0"]) == 1
+        assert "nothing to inject" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main([*self.FAST, "--scenario", "nope"]) == 1
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_recoverable_faults_end_byte_identical(self, capsys):
+        assert main([*self.FAST, "--transient", "1.0", "--corrupt", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "task-retry" in out
+        assert "skipped-batch[labels-not-binary]" in out
+        assert "verdict: recovered — report byte-identical" in out
+
+    def test_lost_telemetry_fails_closed(self, capsys):
+        assert main([*self.FAST, "--transient", "0", "--corrupt", "1.0",
+                     "--corrupt-mode", "replace",
+                     "--on-malformed", "raise"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: failed closed — MalformedBatchError" in out

@@ -11,8 +11,12 @@ recursions, and the derived exact-vs-sampled attribution ratio) plus
 the multi-tenant serve panel PR 8 added (a 100-session interleaved
 fleet through one ``DiagnosisService``: sessions/sec, p50/p99 window
 latency, and byte-identical snapshot/restore as the equality claim)
-with best-of-N wall clocks, asserts output equality, and writes one
-JSON document::
+plus the resilience panel PR 10 added (the ``ResilientExecutor``
+wrapper tax on a fault-free streaming run, and a full chaos storm —
+transient faults on every task attempt, a corrupted duplicate of every
+batch — whose report must come back byte-identical to the fault-free
+run) with best-of-N wall clocks, asserts output equality, and writes
+one JSON document::
 
     PYTHONPATH=src python tools/bench_trajectory.py --pr 5
 
@@ -340,6 +344,100 @@ def measure_serve(sessions: int, serve_epochs: int) -> list[dict]:
     ]
 
 
+def measure_chaos(chaos_epochs: int, repeats: int) -> list[dict]:
+    """PR 10 panel: fault tolerance as a measurable claim.
+
+    Two rows.  ``resilient_executor_overhead`` A/Bs a fault-free
+    streaming run through the plain serial executor against the same
+    run wrapped in :class:`~repro.resilience.ResilientExecutor` (no
+    faults firing) — the wrapper tax, with byte-equality of the two
+    reports as the panel's hard claim.  ``chaos_storm_recovery`` then
+    drives the run through a worst-case storm (transient fault on every
+    task attempt, a corrupted duplicate shadowing every batch, skipped
+    under ``on_malformed="skip"``) and asserts the final report is
+    *still* byte-identical to the fault-free one.
+    """
+    from repro.chaos import ChaosFault, ChaosPolicy
+    from repro.core.stream import StreamingDiagnosisEngine
+    from repro.datasets import stream_scenario_telemetry
+    from repro.resilience import ResilientExecutor
+
+    config = dict(
+        window_epochs=48,
+        refit_every=2,
+        explain_per_window=24,
+        explainer_kwargs={"n_samples": 32},
+        random_state=2020,
+    )
+
+    def stream():
+        return stream_scenario_telemetry(
+            "fault-storm", chaos_epochs, batch_epochs=48,
+            random_state=2020,
+        )
+
+    def run_plain():
+        clear_cache()
+        report = StreamingDiagnosisEngine(**config).run(stream())
+        return report.format_table(timing=False)
+
+    def run_resilient():
+        clear_cache()
+        engine = StreamingDiagnosisEngine(**config)
+        with ResilientExecutor("serial", retries=2) as executor:
+            report = engine.run(stream(), executor=executor)
+        return report.format_table(timing=False)
+
+    storm_events = {}
+
+    def run_storm():
+        clear_cache()
+        policy = ChaosPolicy(
+            0,
+            [
+                ChaosFault("transient", 1.0, attempts=1),
+                ChaosFault("corrupt-batch", 1.0),
+            ],
+        )
+        engine = StreamingDiagnosisEngine(on_malformed="skip", **config)
+        with ResilientExecutor(
+            "serial", retries=3, chaos=policy
+        ) as executor:
+            report = engine.run(
+                policy.corrupt_stream(stream()), executor=executor
+            )
+        storm_events["task_retries"] = sum(
+            1 for e in executor.events if e.kind == "task-retry"
+        )
+        storm_events["skipped_batches"] = sum(
+            1 for e in report.events if e.kind == "skipped-batch"
+        )
+        return report.format_table(timing=False)
+
+    results = [
+        _ab(
+            "resilient_executor_overhead",
+            run_resilient,
+            run_plain,
+            repeats=repeats,
+            equal_fn=lambda a, b: a == b,
+            epochs=chaos_epochs,
+        ),
+        _ab(
+            "chaos_storm_recovery",
+            run_storm,
+            run_plain,
+            repeats=repeats,
+            equal_fn=lambda a, b: a == b,
+            epochs=chaos_epochs,
+        ),
+    ]
+    if storm_events["task_retries"] == 0:
+        raise AssertionError("chaos panel: the storm never injected a fault")
+    results[-1].update(storm_events)
+    return results
+
+
 def _bench_files() -> list[str]:
     """``BENCH_<n>.json`` files in PR order (numeric, not lexicographic,
     so BENCH_12 sorts after BENCH_5)."""
@@ -407,6 +505,11 @@ def main(argv=None) -> int:
         help="streaming epochs per tenant in the serve panel",
     )
     parser.add_argument(
+        "--chaos-epochs", type=int, default=192,
+        help="streaming epochs in the resilience/chaos panel "
+             "(0 disables the panel)",
+    )
+    parser.add_argument(
         "--show", action="store_true",
         help="print the trajectory from existing BENCH_*.json files",
     )
@@ -424,6 +527,8 @@ def main(argv=None) -> int:
         results.extend(
             measure_serve(args.serve_sessions, args.serve_epochs)
         )
+    if args.chaos_epochs > 0:
+        results.extend(measure_chaos(args.chaos_epochs, args.repeats))
     doc = {
         "schema_version": 1,
         "pr": args.pr,
@@ -444,6 +549,7 @@ def main(argv=None) -> int:
             "repeats": args.repeats,
             "serve_sessions": args.serve_sessions,
             "serve_epochs": args.serve_epochs,
+            "chaos_epochs": args.chaos_epochs,
         },
         "results": results,
     }
